@@ -1,0 +1,36 @@
+"""Ablations of P3Q design choices (DESIGN.md section 5)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_exchange_ablation,
+    run_random_view_ablation,
+    run_selection_ablation,
+)
+
+from conftest import run_once, save_report
+
+
+def test_ablation_three_step_exchange(benchmark, scale):
+    result = run_once(benchmark, run_exchange_ablation, scale, cycles=8)
+    save_report(result.render(), name="test_ablation_exchange")
+    # The digest-first exchange must reduce the profile payload shipped
+    # during personal-network maintenance.
+    assert result.payload_savings_factor > 1.0
+
+
+def test_ablation_random_view(benchmark, scale):
+    result = run_once(benchmark, run_random_view_ablation, scale, cycles=20, sample_every=5)
+    save_report(result.render(), name="test_ablation_random_view")
+    # Without the peer-sampling layer, discovery relies on friends-of-friends
+    # only and converges markedly slower.
+    assert result.with_random_view[-1] > result.without_random_view[-1]
+    assert result.final_gap() > 0.1
+
+
+def test_ablation_partner_selection(benchmark, scale):
+    result = run_once(benchmark, run_selection_ablation, scale, cycles=20, sample_every=5)
+    save_report(result.render(), name="test_ablation_selection")
+    # Oldest-timestamp selection guarantees fair coverage of the personal
+    # network; it must not converge materially slower than random selection.
+    assert result.oldest_timestamp[-1] >= result.uniform_random[-1] - 0.1

@@ -1,0 +1,20 @@
+"""Section 2.4: R(α) closed form, optimum at α=0.5, involvement bounds."""
+
+from __future__ import annotations
+
+from repro.experiments import run_alpha_analysis
+
+from conftest import run_once, save_report
+
+
+def test_analysis_alpha(benchmark):
+    result = run_once(benchmark, run_alpha_analysis, length=990, found_per_hop=10)
+    save_report(result.render())
+    # Theorem 2.2: α = 0.5 minimizes R(α); the extremes degenerate to L/X.
+    assert result.best_alpha() == 0.5
+    assert result.closed_form(0.0) == result.closed_form(1.0) == 99.0
+    # O(log2 L) behaviour at the optimum (paper: ~10 cycles suffice).
+    assert result.closed_form(0.5) < 11
+    # The mechanistic drain agrees with the closed form within one cycle.
+    for alpha in (0.1, 0.3, 0.5, 0.7, 0.9):
+        assert abs(result.simulated(alpha) - result.closed_form(alpha)) <= 1.5

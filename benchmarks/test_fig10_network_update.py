@@ -1,0 +1,28 @@
+"""Figure 10: discovery of new ideal neighbours after profile changes."""
+
+from __future__ import annotations
+
+from repro.experiments import run_network_update
+
+from conftest import run_once, save_report
+
+
+def test_fig10_network_update(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_network_update,
+        scale,
+        lambdas=(1.0, 4.0),
+        cycles=30,
+        sample_every=5,
+        workload=workload,
+    )
+    save_report(result.render())
+    # Paper shape: the (strict) completion ratio grows with lazy cycles in
+    # both heterogeneous scenarios and a substantial share of affected users
+    # completes their new network within the run.
+    for lam in (1.0, 4.0):
+        assert result.affected_users[lam] > 0
+        series = result.series[lam]
+        assert series[-1] >= series[0]
+    assert max(result.final_fraction(1.0), result.final_fraction(4.0)) > 0.3

@@ -1,0 +1,37 @@
+"""Figure 11: impact of massive departures on top-k quality."""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_DEPARTURES, run_churn
+
+from conftest import run_once, save_report
+
+
+def test_fig11_churn(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_churn,
+        scale,
+        lambdas=(1.0, 4.0),
+        departures=PAPER_DEPARTURES,
+        cycles=10,
+        workload=workload,
+    )
+    save_report(result.render())
+    # Paper shape (11a/11b): without churn recall reaches 1; the more users
+    # leave, the lower the final recall; λ=4 (more replicas) resists better
+    # than λ=1 for heavy churn.
+    for lam in (1.0, 4.0):
+        assert result.final_recall(lam, 0.0) > 0.99
+        assert result.final_recall(lam, 0.9) <= result.final_recall(lam, 0.0)
+    assert result.final_recall(4.0, 0.9) >= result.final_recall(1.0, 0.9) - 0.05
+    # Even at 90% departures most of the answer survives through replicas
+    # (paper: ~8 of 10 relevant items at λ=1).
+    assert result.final_recall(1.0, 0.9) > 0.4
+    # Paper shape (11c): the fraction of queries unable to reach recall 1
+    # grows with the departure fraction and is smaller at λ=4.
+    assert (
+        result.incomplete_queries[1.0][0.9]
+        >= result.incomplete_queries[1.0][0.1 if 0.1 in result.incomplete_queries[1.0] else 0.0]
+    )
+    assert result.incomplete_queries[4.0][0.5] <= result.incomplete_queries[1.0][0.5] + 0.05

@@ -1,0 +1,23 @@
+"""Figure 2: personal-network convergence speed in lazy mode."""
+
+from __future__ import annotations
+
+from repro.experiments import run_convergence
+
+from conftest import run_once, save_report
+
+
+def test_fig2_convergence(benchmark, scale):
+    storages = list(scale.storage_levels[:4])
+    result = run_once(
+        benchmark, run_convergence, scale, storages=storages, cycles=30, sample_every=5
+    )
+    save_report(result.render())
+    # Paper shape: every budget converges upward, and larger budgets converge
+    # at least as fast as the smallest one.
+    smallest, largest = storages[0], storages[-1]
+    assert result.series[smallest][-1] > result.series[smallest][0]
+    assert result.final_ratio(largest) >= result.final_ratio(smallest) - 0.05
+    # Paper: even c=10 identifies >68% of the network given enough cycles;
+    # at our scale 30 cycles should already put the largest budget past 80%.
+    assert result.final_ratio(largest) > 0.8

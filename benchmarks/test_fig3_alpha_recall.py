@@ -1,0 +1,31 @@
+"""Figure 3: average recall vs eager cycles for different α (small storage)."""
+
+from __future__ import annotations
+
+from repro.experiments import PAPER_ALPHAS, run_alpha_recall
+
+from conftest import run_once, save_report
+
+
+def test_fig3_alpha_recall(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_alpha_recall,
+        scale,
+        alphas=PAPER_ALPHAS,
+        storage=scale.storage_levels[0],
+        cycles=20,
+        workload=workload,
+    )
+    save_report(result.render())
+    # Paper shape: alpha = 0.5 reaches full recall fastest; the extremes
+    # (0 and 1) are the slowest.
+    half = result.cycles_to_reach(0.5, 0.999)
+    assert half is not None
+    for alpha in (0.0, 1.0):
+        other = result.cycles_to_reach(alpha, 0.999)
+        if other is not None:
+            assert half <= other
+    # Local processing already gives a useful answer at cycle 0
+    # (paper: >4 relevant items out of 10 with only 10 stored profiles).
+    assert result.series[0.5][0] > 0.3

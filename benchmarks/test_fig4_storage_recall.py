@@ -1,0 +1,29 @@
+"""Figure 4: average recall vs eager cycles for different storage budgets."""
+
+from __future__ import annotations
+
+from repro.experiments import run_storage_recall
+
+from conftest import run_once, save_report
+
+
+def test_fig4_storage_recall(benchmark, scale, workload):
+    storages = list(scale.storage_levels[:6])
+    result = run_once(
+        benchmark,
+        run_storage_recall,
+        scale,
+        storages=storages,
+        alpha=0.5,
+        cycles=10,
+        workload=workload,
+    )
+    save_report(result.render())
+    # Paper shape: every budget reaches recall 1 within 10 cycles, larger
+    # budgets start higher, and the first cycle brings a big improvement.
+    for storage in storages:
+        assert result.final_recall(storage) > 0.99
+    assert result.recall_at(storages[-1], 0) >= result.recall_at(storages[0], 0)
+    small = storages[0]
+    gain_first = result.recall_at(small, 1) - result.recall_at(small, 0)
+    assert gain_first >= -1e-9

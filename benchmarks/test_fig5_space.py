@@ -1,0 +1,21 @@
+"""Figure 5: per-user storage requirement for each storage budget."""
+
+from __future__ import annotations
+
+from repro.experiments import run_space_requirements
+
+from conftest import run_once, save_report
+
+
+def test_fig5_space_requirement(benchmark, scale, workload):
+    storages = list(scale.storage_levels)
+    result = run_once(
+        benchmark, run_space_requirements, scale, storages=storages, workload=workload
+    )
+    save_report(result.render())
+    # Paper shape: storage grows with the budget, and a small budget needs a
+    # small fraction of the store-everything footprint (paper: c=10 -> 6.8%).
+    fractions = [result.fraction_of_full(storage) for storage in storages]
+    assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    assert fractions[0] < 0.5
+    assert fractions[-1] <= 1.0 + 1e-9

@@ -1,0 +1,27 @@
+"""Figure 6 / Section 3.5: bandwidth needed to answer queries."""
+
+from __future__ import annotations
+
+from repro.experiments import run_query_bandwidth
+
+from conftest import run_once, save_report
+
+
+def test_fig6_query_bandwidth(benchmark, scale, workload):
+    result = run_once(
+        benchmark, run_query_bandwidth, scale, lambdas=[1.0, 4.0], cycles=12, workload=workload
+    )
+    save_report(result.render())
+    # Paper shape: partial result lists dominate the per-query traffic, and
+    # the storage-poor scenario (λ=1) needs more bytes and more messages per
+    # query than λ=4 (573 KB / 228 msgs vs 360 KB / 70 msgs at paper scale).
+    assert result.average_bytes[1.0] >= result.average_bytes[4.0]
+    assert result.average_messages[1.0] >= result.average_messages[4.0]
+    rows = result.rows_by_lambda[1.0]
+    dominated = sum(
+        1
+        for row in rows
+        if row.partial_results_bytes
+        >= max(row.forwarded_remaining_bytes, row.returned_remaining_bytes)
+    )
+    assert dominated >= len(rows) // 2

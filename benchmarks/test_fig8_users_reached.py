@@ -1,0 +1,19 @@
+"""Figure 8: number of users reached by a query (λ=1 vs λ=4)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_users_reached
+
+from conftest import run_once, save_report
+
+
+def test_fig8_users_reached(benchmark, scale, workload):
+    result = run_once(
+        benchmark, run_users_reached, scale, lambdas=(1.0, 4.0), cycles=12, workload=workload
+    )
+    save_report(result.render())
+    # Paper shape: queries reach far more users when storage is scarce
+    # (256 at λ=1 vs 75 at λ=4 on the paper's trace).
+    assert result.average(1.0) >= result.average(4.0)
+    assert result.average(1.0) > 1.0
+    assert result.maximum(1.0) >= result.maximum(4.0)

@@ -1,0 +1,16 @@
+"""Table 1: distribution of the storage budget c under Poisson λ=1 / λ=4."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1
+
+from conftest import run_once, save_report
+
+
+def test_table1_storage_distribution(benchmark):
+    result = run_once(benchmark, run_table1, num_users=10_000, seed=0)
+    save_report(result.render())
+    # Paper row (λ=1): 36.79% / 36.79% / 18.39% / 6.13% / 1.53% / 0.31% / 0.06%
+    assert abs(result.theoretical[1.0][0] - 0.3679) < 1e-3
+    assert abs(result.theoretical[4.0][-1] - 0.1173) < 1e-3
+    assert abs(result.empirical[1.0][10] - 0.3679) < 0.02

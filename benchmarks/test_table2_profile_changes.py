@@ -1,0 +1,21 @@
+"""Table 2: influence of one day of profile changes per storage budget."""
+
+from __future__ import annotations
+
+from repro.experiments import run_table2
+
+from conftest import run_once, save_report
+
+
+def test_table2_profile_changes(benchmark, scale, workload):
+    storages = list(scale.storage_levels)
+    result = run_once(benchmark, run_table2, scale, storages=storages, workload=workload)
+    save_report(result.render())
+    rows = {row.storage: row for row in result.rows_by_storage}
+    smallest, largest = storages[0], storages[-1]
+    # Paper shape: the fraction of affected users and the number of replicas
+    # to refresh both grow with the storage budget.
+    assert rows[largest].affected_fraction >= rows[smallest].affected_fraction
+    assert rows[largest].average_to_update >= rows[smallest].average_to_update
+    assert rows[largest].max_to_update >= rows[smallest].max_to_update
+    assert result.changed_users > 0

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Personalization demo: the same query, different users, different answers.
+
+The paper's motivating example: a computer scientist searching "matrix"
+wants linear algebra, a movie fan wants the film.  This script builds a
+hand-crafted tagging system with two communities that use the same tag on
+different items, deploys P3Q, and shows that the two users receive different
+top-k results for the *same* tag query because the results are scored over
+their own implicit social networks.
+
+Run with:  python examples/personalized_search.py
+"""
+
+from __future__ import annotations
+
+from repro.data import Dataset, Query
+from repro.p3q import P3QConfig, P3QSimulation
+
+# Item identifiers (think URLs).
+MATRIX_ALGEBRA_TUTORIAL = 1
+EIGENVALUE_COURSE = 2
+NUMPY_DOCS = 3
+MATRIX_MOVIE_PAGE = 10
+KEANU_FAN_WIKI = 11
+SCIFI_REVIEWS = 12
+
+# Tag identifiers.
+TAG_MATRIX = 100
+TAG_MATH = 101
+TAG_LINEAR_ALGEBRA = 102
+TAG_MOVIE = 110
+TAG_SCIFI = 111
+
+ITEM_NAMES = {
+    MATRIX_ALGEBRA_TUTORIAL: "matrix-algebra-tutorial",
+    EIGENVALUE_COURSE: "eigenvalue-course",
+    NUMPY_DOCS: "numpy-docs",
+    MATRIX_MOVIE_PAGE: "the-matrix-movie-page",
+    KEANU_FAN_WIKI: "keanu-reeves-fan-wiki",
+    SCIFI_REVIEWS: "sci-fi-reviews",
+}
+
+
+def build_dataset() -> Dataset:
+    """Two communities: scientists (users 0-4) and movie fans (5-9).
+
+    Both communities use the tag 'matrix', but on different items.  User 0
+    is the querying scientist, user 5 the querying movie fan.
+    """
+    scientists = {
+        uid: [
+            (MATRIX_ALGEBRA_TUTORIAL, TAG_MATRIX),
+            (MATRIX_ALGEBRA_TUTORIAL, TAG_MATH),
+            (EIGENVALUE_COURSE, TAG_LINEAR_ALGEBRA),
+            (EIGENVALUE_COURSE, TAG_MATRIX),
+            (NUMPY_DOCS, TAG_MATH),
+        ]
+        for uid in range(0, 5)
+    }
+    movie_fans = {
+        uid: [
+            (MATRIX_MOVIE_PAGE, TAG_MATRIX),
+            (MATRIX_MOVIE_PAGE, TAG_MOVIE),
+            (KEANU_FAN_WIKI, TAG_MOVIE),
+            (KEANU_FAN_WIKI, TAG_MATRIX),
+            (SCIFI_REVIEWS, TAG_SCIFI),
+        ]
+        for uid in range(5, 10)
+    }
+    return Dataset.from_actions({**scientists, **movie_fans})
+
+
+def main() -> None:
+    dataset = build_dataset()
+    config = P3QConfig(network_size=6, storage=2, random_view_size=4, seed=1,
+                       digest_bits=2_048, digest_hashes=5)
+    simulation = P3QSimulation(dataset, config)
+    simulation.bootstrap_random_views()
+
+    # Let the lazy gossip discover the implicit social networks from scratch:
+    # no explicit friendship is ever declared.
+    simulation.run_lazy(cycles=10)
+
+    scientist, movie_fan = 0, 5
+    for name, uid in (("scientist", scientist), ("movie fan", movie_fan)):
+        neighbours = simulation.node(uid).personal_network.member_ids()
+        print(f"{name} (user {uid}) discovered acquaintances: {neighbours}")
+
+    # Both users issue the *same* query: the single tag 'matrix'.
+    queries = [
+        Query(query_id=1, querier=scientist, tags=(TAG_MATRIX,)),
+        Query(query_id=2, querier=movie_fan, tags=(TAG_MATRIX,)),
+    ]
+    sessions = simulation.issue_queries(queries)
+    simulation.run_eager(cycles=10)
+
+    print("\nsame query ('matrix'), personalized answers:")
+    for query in queries:
+        session = sessions[query.query_id]
+        items = [ITEM_NAMES.get(item, str(item)) for item in session.snapshots[-1].items]
+        who = "scientist" if query.querier == scientist else "movie fan"
+        print(f"  {who:<10} -> {items}")
+
+    scientist_items = set(sessions[1].snapshots[-1].items)
+    fan_items = set(sessions[2].snapshots[-1].items)
+    assert MATRIX_ALGEBRA_TUTORIAL in scientist_items
+    assert MATRIX_MOVIE_PAGE in fan_items
+    print("\nthe scientist gets linear algebra, the fan gets the film -- "
+          "personalization emerges purely from implicit tagging affinities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Baselines: the centralized reference and the strawman decentralized strategies."""
+
+from .centralized import CentralizedTopK, inverted_list_storage_estimate
+from .strategies import (
+    OnDemandPollingStrategy,
+    StoreEverythingStrategy,
+    StrategyCost,
+)
+
+__all__ = [
+    "CentralizedTopK",
+    "OnDemandPollingStrategy",
+    "StoreEverythingStrategy",
+    "StrategyCost",
+    "inverted_list_storage_estimate",
+]

@@ -1,0 +1,109 @@
+"""Decentralized strawman strategies discussed in the paper's introduction.
+
+P3Q is motivated against two extremes:
+
+* **store-everything** -- every user locally replicates all the profiles of
+  her personal network.  Query processing is instantaneous and exact, but
+  the storage and maintenance cost grows with ``s`` full profiles per user
+  (the paper: "several hundreds of profiles are needed ... seems simply
+  inadequate").
+* **store-nothing / on-demand polling** -- every user stores only her own
+  profile and fetches neighbours' profiles one by one (or all at once) at
+  query time.  Storage is minimal but each query costs one round-trip per
+  neighbour (latency) or a burst of ``s`` simultaneous transfers
+  (bandwidth), and offline users' profiles are simply unavailable.
+
+Both are implemented against the same dataset/ideal-network substrate so the
+benchmarks can put P3Q's numbers next to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.models import Dataset
+from ..data.queries import Query
+from ..gossip.sizes import tagging_actions_size
+from ..p3q.scoring import partial_scores
+from ..similarity.knn import IdealNetworkIndex
+from ..topk.exact import exact_top_k
+
+
+@dataclass
+class StrategyCost:
+    """Cost summary of answering one query under a strawman strategy."""
+
+    #: Bytes permanently stored at the querier for her neighbours' profiles.
+    storage_bytes: int
+    #: Bytes transferred at query time.
+    query_bytes: int
+    #: Number of sequential round-trips needed before the answer is exact.
+    round_trips: int
+    #: Fraction of the personal network whose profiles were available.
+    availability: float
+
+
+class StoreEverythingStrategy:
+    """Replicate the whole personal network locally (exact, storage-heavy)."""
+
+    def __init__(self, dataset: Dataset, ideal: IdealNetworkIndex) -> None:
+        self.dataset = dataset
+        self.ideal = ideal
+
+    def top_k(self, query: Query, k: int = 10) -> List[Tuple[int, float]]:
+        profiles = [self.dataset.profile(uid) for uid in self.ideal.neighbour_ids(query.querier)]
+        profiles.append(self.dataset.profile(query.querier))
+        return exact_top_k([partial_scores(profiles, query)], k)
+
+    def cost(self, query: Query) -> StrategyCost:
+        neighbour_ids = self.ideal.neighbour_ids(query.querier)
+        storage = sum(tagging_actions_size(len(self.dataset.profile(uid))) for uid in neighbour_ids)
+        return StrategyCost(
+            storage_bytes=storage,
+            query_bytes=0,
+            round_trips=0,
+            availability=1.0,
+        )
+
+
+class OnDemandPollingStrategy:
+    """Store nothing; poll every neighbour's profile at query time.
+
+    ``offline`` lists users whose profiles cannot be fetched (churn): their
+    contributions are simply missing, which is how this strategy loses recall
+    under departure.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        ideal: IdealNetworkIndex,
+        offline: Optional[Set[int]] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.ideal = ideal
+        self.offline = offline or set()
+
+    def available_neighbours(self, query: Query) -> List[int]:
+        return [
+            uid
+            for uid in self.ideal.neighbour_ids(query.querier)
+            if uid not in self.offline
+        ]
+
+    def top_k(self, query: Query, k: int = 10) -> List[Tuple[int, float]]:
+        profiles = [self.dataset.profile(uid) for uid in self.available_neighbours(query)]
+        profiles.append(self.dataset.profile(query.querier))
+        return exact_top_k([partial_scores(profiles, query)], k)
+
+    def cost(self, query: Query, parallel: bool = False) -> StrategyCost:
+        available = self.available_neighbours(query)
+        total_ids = self.ideal.neighbour_ids(query.querier)
+        query_bytes = sum(tagging_actions_size(len(self.dataset.profile(uid))) for uid in available)
+        return StrategyCost(
+            storage_bytes=0,
+            query_bytes=query_bytes,
+            round_trips=1 if parallel else len(available),
+            availability=(len(available) / len(total_ids)) if total_ids else 1.0,
+        )

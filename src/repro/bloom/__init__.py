@@ -1,0 +1,15 @@
+"""Bloom-filter profile digests used by the gossip protocol."""
+
+from .bloom import (
+    PAPER_DIGEST_BITS,
+    BloomFilter,
+    optimal_num_bits,
+    optimal_num_hashes,
+)
+
+__all__ = [
+    "PAPER_DIGEST_BITS",
+    "BloomFilter",
+    "optimal_num_bits",
+    "optimal_num_hashes",
+]

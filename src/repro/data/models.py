@@ -1,0 +1,300 @@
+"""Core data model for collaborative tagging systems.
+
+The information space of the paper is a triple (U, I, T): users, items and
+tags.  The atomic fact is a *tagging action* ``Tagged_u(i, t)`` -- user ``u``
+annotated item ``i`` with tag ``t``.  A user's *profile* is the set of her
+tagging actions, and all similarity / relevance computations in P3Q are
+defined on these sets.
+
+Users, items and tags are identified by small integers.  Keeping identifiers
+numeric keeps profiles hashable and cheap to intersect, and matches the
+paper's cost model (4-byte user ids, 16-byte hashed items / tags).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+
+#: A tagging action is the pair (item, tag).  The user is implied by the
+#: profile that contains the action.
+TaggingAction = Tuple[int, int]
+
+
+class UserProfile:
+    """The set of tagging actions of a single user.
+
+    A profile supports the three views P3Q needs:
+
+    * the raw set of ``(item, tag)`` actions (similarity scores are
+      intersection sizes over this set);
+    * the set of distinct items (this is what the Bloom-filter digest
+      encodes);
+    * an item -> tags index (used to answer queries and to transfer only the
+      tags of *common* items during the lazy 3-step exchange).
+    """
+
+    __slots__ = ("user_id", "_actions", "_item_tags", "_version")
+
+    def __init__(self, user_id: int, actions: Iterable[TaggingAction] = ()) -> None:
+        self.user_id = user_id
+        self._actions: Set[TaggingAction] = set()
+        self._item_tags: Dict[int, Set[int]] = defaultdict(set)
+        self._version = 0
+        for item, tag in actions:
+            self.add(item, tag)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, item: int, tag: int) -> bool:
+        """Record that this user tagged ``item`` with ``tag``.
+
+        Returns ``True`` if the action is new, ``False`` if it was already in
+        the profile.  Every new action bumps the profile version so that
+        replicas (stored copies on other nodes) can detect staleness.
+        """
+        action = (item, tag)
+        if action in self._actions:
+            return False
+        self._actions.add(action)
+        self._item_tags[item].add(tag)
+        self._version += 1
+        return True
+
+    def add_all(self, actions: Iterable[TaggingAction]) -> int:
+        """Add many actions; returns how many were actually new."""
+        return sum(1 for item, tag in actions if self.add(item, tag))
+
+    # -- read access --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every profile change."""
+        return self._version
+
+    @property
+    def actions(self) -> FrozenSet[TaggingAction]:
+        """The (immutable view of the) set of tagging actions."""
+        return frozenset(self._actions)
+
+    @property
+    def items(self) -> FrozenSet[int]:
+        """Distinct items this user has tagged (content of the digest)."""
+        return frozenset(self._item_tags)
+
+    def tags_for(self, item: int) -> FrozenSet[int]:
+        """Tags this user attached to ``item`` (empty if never tagged)."""
+        return frozenset(self._item_tags.get(item, ()))
+
+    def actions_for_items(self, items: Iterable[int]) -> Set[TaggingAction]:
+        """Tagging actions restricted to a set of items.
+
+        This is the payload of step 2 of the lazy exchange: only the actions
+        on *common* items are shipped so the peer can compute the exact
+        similarity score without receiving the whole profile.
+        """
+        wanted = set(items)
+        return {
+            (item, tag)
+            for item, tags in self._item_tags.items()
+            if item in wanted
+            for tag in tags
+        }
+
+    def has_item(self, item: int) -> bool:
+        return item in self._item_tags
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __contains__(self, action: TaggingAction) -> bool:
+        return action in self._actions
+
+    def __iter__(self) -> Iterator[TaggingAction]:
+        return iter(self._actions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UserProfile):
+            return NotImplemented
+        return self.user_id == other.user_id and self._actions == other._actions
+
+    def __hash__(self) -> int:  # pragma: no cover - identity-style hashing
+        return hash((self.user_id, len(self._actions)))
+
+    def __repr__(self) -> str:
+        return f"UserProfile(user_id={self.user_id}, actions={len(self._actions)})"
+
+    def copy(self) -> "UserProfile":
+        """A deep snapshot of this profile (used for replicas on peers)."""
+        clone = UserProfile(self.user_id, self._actions)
+        clone._version = self._version
+        return clone
+
+
+@dataclass
+class DatasetStats:
+    """Aggregate statistics of a tagging dataset (mirrors Section 3.1.1)."""
+
+    num_users: int
+    num_items: int
+    num_tags: int
+    num_actions: int
+    mean_profile_length: float
+    max_profile_length: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_users": self.num_users,
+            "num_items": self.num_items,
+            "num_tags": self.num_tags,
+            "num_actions": self.num_actions,
+            "mean_profile_length": self.mean_profile_length,
+            "max_profile_length": self.max_profile_length,
+        }
+
+
+class Dataset:
+    """An immutable-ish collection of user profiles.
+
+    The dataset is the offline view of the collaborative tagging system: it
+    knows every user's profile and can compute global statistics, but the
+    P3Q nodes themselves only ever see the profiles they store or receive
+    through gossip.
+    """
+
+    def __init__(self, profiles: Mapping[int, UserProfile]) -> None:
+        self._profiles: Dict[int, UserProfile] = dict(profiles)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_actions(cls, actions: Mapping[int, Iterable[TaggingAction]]) -> "Dataset":
+        """Build a dataset from a ``user_id -> iterable of (item, tag)`` map."""
+        return cls(
+            {uid: UserProfile(uid, acts) for uid, acts in actions.items()}
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def user_ids(self) -> List[int]:
+        return sorted(self._profiles)
+
+    def profile(self, user_id: int) -> UserProfile:
+        return self._profiles[user_id]
+
+    def profiles(self) -> Iterator[UserProfile]:
+        for uid in self.user_ids:
+            yield self._profiles[uid]
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._profiles
+
+    # -- statistics -----------------------------------------------------------
+
+    def items(self) -> Set[int]:
+        """All distinct items tagged by at least one user."""
+        out: Set[int] = set()
+        for profile in self._profiles.values():
+            out |= profile.items
+        return out
+
+    def tags(self) -> Set[int]:
+        """All distinct tags used by at least one user."""
+        return {tag for p in self._profiles.values() for _, tag in p}
+
+    def item_popularity(self) -> Counter:
+        """item -> number of distinct users who tagged it."""
+        counts: Counter = Counter()
+        for profile in self._profiles.values():
+            counts.update(profile.items)
+        return counts
+
+    def tag_popularity(self) -> Counter:
+        """tag -> number of distinct users who used it."""
+        counts: Counter = Counter()
+        for profile in self._profiles.values():
+            counts.update({tag for _, tag in profile})
+        return counts
+
+    def stats(self) -> DatasetStats:
+        lengths = [len(p) for p in self._profiles.values()]
+        total = sum(lengths)
+        return DatasetStats(
+            num_users=len(self._profiles),
+            num_items=len(self.items()),
+            num_tags=len(self.tags()),
+            num_actions=total,
+            mean_profile_length=total / len(lengths) if lengths else 0.0,
+            max_profile_length=max(lengths) if lengths else 0,
+        )
+
+    # -- transformations ------------------------------------------------------
+
+    def filter_rare(self, min_item_users: int = 10, min_tag_users: int = 10) -> "Dataset":
+        """Drop actions on items/tags used by too few distinct users.
+
+        Mirrors the paper's dataset cleaning: profiles are rebuilt with the
+        items and tags "used by at least 10 distinct users".  Items at the
+        tail of the candidate lists are hardly ever in a top-k result, so the
+        filtering does not change the experiments' conclusions while keeping
+        the trace small.
+        """
+        item_pop = self.item_popularity()
+        tag_pop = self.tag_popularity()
+        keep_items = {i for i, n in item_pop.items() if n >= min_item_users}
+        keep_tags = {t for t, n in tag_pop.items() if n >= min_tag_users}
+        filtered: Dict[int, UserProfile] = {}
+        for uid, profile in self._profiles.items():
+            actions = [
+                (item, tag)
+                for item, tag in profile
+                if item in keep_items and tag in keep_tags
+            ]
+            filtered[uid] = UserProfile(uid, actions)
+        return Dataset(filtered)
+
+    def sample_users(self, user_ids: Iterable[int]) -> "Dataset":
+        """Restrict the dataset to the given users (paper: 10,000 of 13,521)."""
+        wanted = set(user_ids)
+        return Dataset(
+            {uid: p.copy() for uid, p in self._profiles.items() if uid in wanted}
+        )
+
+    def copy(self) -> "Dataset":
+        return Dataset({uid: p.copy() for uid, p in self._profiles.items()})
+
+
+@dataclass(frozen=True)
+class ProfileChange:
+    """A batch of new tagging actions applied to one user's profile.
+
+    Profile dynamics in the paper are expressed as per-day batches of new
+    tagging actions (Section 3.4.1).  A change never removes actions -- in a
+    tagging system an opinion, once expressed, stays meaningful.
+    """
+
+    user_id: int
+    new_actions: Tuple[TaggingAction, ...]
+
+    def __len__(self) -> int:
+        return len(self.new_actions)
+
+
+@dataclass(frozen=True)
+class ChangeDay:
+    """All profile changes happening on one (simulated) day."""
+
+    day: int
+    changes: Tuple[ProfileChange, ...] = field(default_factory=tuple)
+
+    @property
+    def changed_users(self) -> FrozenSet[int]:
+        return frozenset(change.user_id for change in self.changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)

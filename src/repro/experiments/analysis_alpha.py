@@ -1,0 +1,104 @@
+"""Section 2.4 analysis: R(α), its optimum, and the involvement bounds.
+
+The experiment compares the closed-form number of cycles ``R(α)`` (Theorem
+2.1) with a mechanistic replay of the remaining-list splitting recurrence,
+verifies that α = 0.5 minimizes it (Theorem 2.2), and reports the bounds on
+users involved and messages exchanged (Theorems 2.3 and 2.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..p3q.analysis import (
+    alpha_sweep,
+    cycles_to_complete,
+    max_partial_results,
+    max_remaining_list_messages,
+    max_users_involved,
+    simulate_remaining_list_drain,
+)
+from .report import format_table
+
+
+@dataclass
+class AlphaAnalysisResult:
+    """Closed-form vs simulated drain for each α."""
+
+    length: int
+    found_per_hop: int
+    rows: List[Tuple[float, float, int, int, int, int]]
+
+    def closed_form(self, alpha: float) -> float:
+        for row in self.rows:
+            if row[0] == alpha:
+                return row[1]
+        raise KeyError(alpha)
+
+    def simulated(self, alpha: float) -> int:
+        for row in self.rows:
+            if row[0] == alpha:
+                return row[2]
+        raise KeyError(alpha)
+
+    def best_alpha(self) -> float:
+        return min(self.rows, key=lambda row: row[1])[0]
+
+    def render(self) -> str:
+        table_rows = [
+            [
+                f"{alpha:g}",
+                round(closed, 2),
+                simulated,
+                users_bound,
+                partials_bound,
+                messages_bound,
+            ]
+            for alpha, closed, simulated, users_bound, partials_bound, messages_bound in self.rows
+        ]
+        return format_table(
+            [
+                "alpha",
+                "R(alpha) closed form",
+                "simulated cycles",
+                "user bound 2^R",
+                "partial results bound",
+                "gossip message bound",
+            ],
+            table_rows,
+            title=(
+                "Section 2.4 analysis"
+                f" (L={self.length}, X={self.found_per_hop})"
+            ),
+        )
+
+
+def run_alpha_analysis(
+    length: int = 990,
+    found_per_hop: int = 10,
+    alphas: Sequence[float] = (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0),
+) -> AlphaAnalysisResult:
+    """Evaluate the analytical model for the paper's canonical L and X.
+
+    The defaults mirror the paper's running configuration: a personal network
+    of s = 1000 with c = 10 stored profiles gives a remaining list of
+    L = 990, and X = c = 10 profiles found per hop.
+    """
+    rows: List[Tuple[float, float, int, int, int, int]] = []
+    for alpha in alphas:
+        closed = cycles_to_complete(length, found_per_hop, alpha)
+        trace = simulate_remaining_list_drain(length, found_per_hop, alpha)
+        cycles_ceiling = math.ceil(closed)
+        rows.append(
+            (
+                alpha,
+                closed,
+                trace.cycles,
+                max_users_involved(closed),
+                max_partial_results(closed),
+                max_remaining_list_messages(closed),
+            )
+        )
+    return AlphaAnalysisResult(length=length, found_per_hop=found_per_hop, rows=rows)

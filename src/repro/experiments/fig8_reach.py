@@ -1,0 +1,69 @@
+"""Figure 8: number of users reached by a query.
+
+In the heterogeneous scenarios the eager gossip of one query touches a
+limited portion of the network: the paper measures on average 256 users per
+query at λ=1 (most users store little, so many hops are needed) and 75 at
+λ=4.  This experiment runs the query workload and counts, per query, how
+many distinct users received the query gossip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .report import format_table
+from .runner import PreparedWorkload, converged_simulation, prepare_workload
+from .scenarios import ExperimentScale, poisson_storage_distribution
+
+
+@dataclass
+class ReachResult:
+    """Per-λ distribution of users reached per query."""
+
+    reached_by_lambda: Dict[float, List[int]]
+
+    def average(self, lam: float) -> float:
+        values = self.reached_by_lambda[lam]
+        return sum(values) / len(values) if values else 0.0
+
+    def maximum(self, lam: float) -> int:
+        values = self.reached_by_lambda[lam]
+        return max(values) if values else 0
+
+    def render(self) -> str:
+        rows = []
+        for lam in sorted(self.reached_by_lambda):
+            values = sorted(self.reached_by_lambda[lam], reverse=True)
+            median = values[len(values) // 2] if values else 0
+            rows.append(
+                [f"lambda={lam:g}", round(self.average(lam), 1), median, self.maximum(lam)]
+            )
+        return format_table(
+            ["scenario", "avg users reached", "median", "max"],
+            rows,
+            title="Figure 8: number of users reached by a query",
+        )
+
+
+def run_users_reached(
+    scale: Optional[ExperimentScale] = None,
+    lambdas: Sequence[float] = (1.0, 4.0),
+    cycles: int = 12,
+    workload: Optional[PreparedWorkload] = None,
+) -> ReachResult:
+    """Count users reached by each query in the heterogeneous scenarios."""
+    scale = scale or ExperimentScale.small()
+    workload = workload or prepare_workload(scale)
+    reached: Dict[float, List[int]] = {}
+    for lam in lambdas:
+        storage = poisson_storage_distribution(
+            workload.dataset.user_ids, lam, levels=scale.storage_levels, seed=scale.seed
+        )
+        simulation = converged_simulation(workload, storage=storage)
+        simulation.issue_queries(workload.queries)
+        simulation.run_eager(cycles)
+        reached[lam] = [
+            len(simulation.users_reached(query.query_id)) for query in workload.queries
+        ]
+    return ReachResult(reached_by_lambda=reached)

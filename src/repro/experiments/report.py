@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment runner returns structured rows/series; this module turns
+them into the aligned text tables that the benchmark harness prints, so that
+"the same rows/series the paper reports" are visible in the bench output and
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label_header: str,
+    x_values: Sequence[Cell],
+    series: Sequence[tuple],
+    title: str = "",
+) -> str:
+    """Render several named series over a shared x axis.
+
+    ``series`` is a sequence of ``(name, values)`` pairs, each ``values``
+    aligned with ``x_values``.
+    """
+    headers = [label_header] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[Cell] = [x]
+        for _, values in series:
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,120 @@
+"""Shared helpers for the per-figure experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines.centralized import CentralizedTopK
+from ..data.models import Dataset
+from ..data.queries import Query, QueryWorkloadGenerator
+from ..p3q.config import P3QConfig, StorageSpec
+from ..p3q.protocol import P3QSimulation
+from ..similarity.knn import IdealNetworkIndex
+from .scenarios import ExperimentScale
+
+
+@dataclass
+class PreparedWorkload:
+    """A dataset plus everything the query experiments share."""
+
+    scale: ExperimentScale
+    dataset: Dataset
+    ideal: IdealNetworkIndex
+    centralized: CentralizedTopK
+    queries: List[Query]
+    #: query_id -> reference top-k items (recall = 1 results).
+    references: Dict[int, List[int]]
+
+
+def build_config(
+    scale: ExperimentScale,
+    storage: StorageSpec,
+    alpha: float = 0.5,
+    seed: Optional[int] = None,
+    account_traffic: bool = True,
+    three_step_exchange: bool = True,
+) -> P3QConfig:
+    """A :class:`P3QConfig` matching an experiment scale."""
+    return P3QConfig(
+        network_size=scale.network_size,
+        storage=storage,
+        random_view_size=scale.random_view_size,
+        k=scale.k,
+        alpha=alpha,
+        digest_bits=scale.digest_bits,
+        digest_hashes=scale.digest_hashes,
+        seed=scale.seed if seed is None else seed,
+        account_traffic=account_traffic,
+        three_step_exchange=three_step_exchange,
+    )
+
+
+def prepare_workload(
+    scale: ExperimentScale,
+    dataset: Optional[Dataset] = None,
+    num_queries: Optional[int] = None,
+) -> PreparedWorkload:
+    """Build the dataset, the ideal index, the query workload and references."""
+    dataset = dataset if dataset is not None else scale.build_dataset()
+    ideal = IdealNetworkIndex(dataset, size=scale.network_size)
+    centralized = CentralizedTopK(dataset, network_size=scale.network_size, ideal=ideal)
+    generator = QueryWorkloadGenerator(dataset, seed=scale.seed)
+    count = num_queries if num_queries is not None else scale.num_queries
+    queriers = dataset.user_ids[:count]
+    queries = generator.generate(queriers)
+    references = centralized.relevant_items(queries, k=scale.k)
+    return PreparedWorkload(
+        scale=scale,
+        dataset=dataset,
+        ideal=ideal,
+        centralized=centralized,
+        queries=queries,
+        references=references,
+    )
+
+
+def converged_simulation(
+    workload: PreparedWorkload,
+    storage: StorageSpec,
+    alpha: float = 0.5,
+    seed: Optional[int] = None,
+    account_traffic: bool = True,
+    three_step_exchange: bool = True,
+) -> P3QSimulation:
+    """A warm-started simulation (personal networks already converged).
+
+    The dataset is copied so that experiments mutating profiles (dynamics)
+    or taking nodes offline (churn) never leak state into the shared
+    workload.
+    """
+    config = build_config(
+        workload.scale,
+        storage,
+        alpha=alpha,
+        seed=seed,
+        account_traffic=account_traffic,
+        three_step_exchange=three_step_exchange,
+    )
+    simulation = P3QSimulation(workload.dataset.copy(), config)
+    simulation.warm_start(ideal=None if _dataset_mutated(workload) else workload.ideal)
+    simulation.bootstrap_random_views()
+    return simulation
+
+
+def _dataset_mutated(workload: PreparedWorkload) -> bool:
+    """Warm-starting from the shared ideal index is only valid while the
+    shared dataset has not been mutated; currently experiments copy the
+    dataset before mutating, so the shared index stays valid."""
+    return False
+
+
+def recall_series_from_snapshots(
+    snapshots_by_query: Mapping[int, Sequence[object]],
+    references: Mapping[int, Sequence[int]],
+    cycles: int,
+) -> List[float]:
+    """Average recall after cycles 0..cycles (thin wrapper for experiments)."""
+    from ..metrics.recall import recall_per_cycle
+
+    return recall_per_cycle(snapshots_by_query, references, cycles)

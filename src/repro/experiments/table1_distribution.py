@@ -1,0 +1,70 @@
+"""Table 1: distribution of the storage budget ``c`` under Poisson λ=1 and λ=4.
+
+The paper draws each user's stored-profile budget from a Poisson distribution
+mapped onto the seven levels {10, 20, 50, 100, 200, 500, 1000}.  This
+experiment regenerates both the theoretical probabilities (the numbers
+printed in Table 1) and the empirical fractions observed when assigning
+budgets to a concrete user population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .report import format_table
+from .scenarios import (
+    PAPER_STORAGE_LEVELS,
+    poisson_storage_distribution,
+    storage_level_fractions,
+    storage_level_probabilities,
+)
+
+
+@dataclass
+class Table1Result:
+    """Theoretical and empirical storage-level fractions per λ."""
+
+    levels: Tuple[int, ...]
+    theoretical: Dict[float, List[float]]
+    empirical: Dict[float, Dict[int, float]]
+    num_users: int
+
+    def rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for lam, probabilities in sorted(self.theoretical.items()):
+            rows.append(
+                [f"lambda={lam} (paper)"] + [f"{p * 100:.2f}%" for p in probabilities]
+            )
+            observed = self.empirical[lam]
+            rows.append(
+                [f"lambda={lam} (measured, n={self.num_users})"]
+                + [f"{observed[level] * 100:.2f}%" for level in self.levels]
+            )
+        return rows
+
+    def render(self) -> str:
+        headers = ["scenario"] + [f"c={level}" for level in self.levels]
+        return format_table(headers, self.rows(), title="Table 1: distribution of c")
+
+
+def run_table1(
+    num_users: int = 10_000,
+    lambdas: Sequence[float] = (1.0, 4.0),
+    levels: Sequence[int] = PAPER_STORAGE_LEVELS,
+    seed: int = 0,
+) -> Table1Result:
+    """Regenerate Table 1 for the given population size."""
+    user_ids = list(range(num_users))
+    theoretical: Dict[float, List[float]] = {}
+    empirical: Dict[float, Dict[int, float]] = {}
+    for lam in lambdas:
+        theoretical[lam] = storage_level_probabilities(lam, num_levels=len(levels))
+        assignment = poisson_storage_distribution(user_ids, lam, levels=levels, seed=seed)
+        empirical[lam] = storage_level_fractions(assignment, levels=levels)
+    return Table1Result(
+        levels=tuple(levels),
+        theoretical=theoretical,
+        empirical=empirical,
+        num_users=num_users,
+    )

@@ -1,0 +1,53 @@
+"""Structural interface that gossip protocols expect from a node.
+
+The lazy and eager protocols are written against this minimal surface so
+that they can be unit-tested with lightweight fakes and reused by any node
+implementation (the full :class:`~repro.p3q.node.P3QNode`, the store-all
+baseline node, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional, Protocol, Set, runtime_checkable
+
+from ..data.models import TaggingAction, UserProfile
+from .digest import ProfileDigest
+from .views import PersonalNetwork, RandomView
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulator.network import Network
+
+
+@runtime_checkable
+class GossipPeer(Protocol):
+    """What a node must expose to participate in P3Q gossip."""
+
+    node_id: int
+    profile: UserProfile
+    personal_network: PersonalNetwork
+    random_view: RandomView
+
+    @property
+    def rng(self) -> random.Random:
+        """The node's deterministic RNG stream."""
+
+    def own_digest(self) -> ProfileDigest:
+        """Digest of the node's own (current) profile."""
+
+    def stored_digest_sample(self, limit: int) -> List[ProfileDigest]:
+        """Digests advertised in a lazy gossip message.
+
+        A random subset (at most ``limit``) of the digests of locally stored
+        neighbour profiles, always including the node's own digest.
+        """
+
+    def actions_for_items_of(self, subject_id: int, items: Set[int]) -> Optional[Set[TaggingAction]]:
+        """Tagging actions of ``subject_id`` restricted to ``items``.
+
+        Served from the node's own profile or a stored replica; ``None`` when
+        the node does not hold that profile (any more).
+        """
+
+    def full_profile_of(self, subject_id: int) -> Optional[UserProfile]:
+        """A copy of ``subject_id``'s profile if stored locally, else ``None``."""

@@ -1,0 +1,62 @@
+"""Random peer sampling: the bottom layer of the lazy gossip.
+
+Each cycle, a node picks one member of its random view uniformly at random,
+the two exchange their views (r digests each, plus their own descriptor so
+fresh information keeps entering the system), and each keeps a uniformly
+random subset of size r of the union.  This is the classical gossip-based
+peer-sampling service of Jelasity et al., which keeps the overlay connected
+even when personal networks would otherwise partition into disjoint interest
+groups, and continuously supplies candidate neighbours that the similarity
+layer has not discovered yet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simulator.network import Network
+from .interfaces import GossipPeer
+from .sizes import digest_message_size
+from ..simulator.stats import KIND_RANDOM_VIEW
+
+
+class PeerSamplingProtocol:
+    """One-cycle behaviour of the random peer-sampling layer."""
+
+    def __init__(self, account_traffic: bool = True) -> None:
+        self.account_traffic = account_traffic
+
+    def run_cycle(self, initiator: GossipPeer, network: Network) -> Optional[int]:
+        """Run one peer-sampling exchange initiated by ``initiator``.
+
+        Returns the partner's id, or ``None`` when no exchange happened
+        (empty view or partner offline -- the slot is simply lost for this
+        cycle, as in the paper's churn experiments).
+        """
+        partner_id = initiator.random_view.random_partner(initiator.rng)
+        if partner_id is None:
+            return None
+        partner = network.try_contact(partner_id)
+        if partner is None or not isinstance(partner, GossipPeer):
+            return None
+
+        sent = initiator.random_view.digests() + [initiator.own_digest()]
+        received = partner.random_view.digests() + [partner.own_digest()]
+
+        if self.account_traffic:
+            network.account(
+                initiator.node_id,
+                partner_id,
+                KIND_RANDOM_VIEW,
+                digest_message_size(len(sent)),
+            )
+            network.account(
+                partner_id,
+                initiator.node_id,
+                KIND_RANDOM_VIEW,
+                digest_message_size(len(received)),
+            )
+
+        initiator.random_view.merge(received, initiator.rng)
+        partner.random_view.merge(sent, partner.rng)
+        return partner_id

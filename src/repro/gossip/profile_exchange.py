@@ -1,0 +1,273 @@
+"""Lazy-mode personal-network maintenance (paper Algorithm 1).
+
+The top layer of the lazy gossip tracks similarity between profiles and
+discovers new neighbours.  Its key cost-saving device is the 3-step
+exchange:
+
+1. **Digests** -- the partners exchange Bloom-filter digests of (a sample
+   of) the profiles they store.  A digest that describes an unchanged,
+   already-known profile, or a user sharing no item with the receiver, is
+   dropped immediately.
+2. **Common items** -- for the remaining candidates, the receiver asks the
+   *sender* (who stores those profiles) for the tagging actions restricted
+   to the items the receiver also tagged, which is exactly the information
+   needed to compute the similarity score.
+3. **Full profiles** -- only the candidates that enter the receiver's top-c
+   (and therefore must be stored locally) have their complete profiles
+   transferred.
+
+The same integration routine is reused by the eager mode ("maintain personal
+network as in lazy mode", Algorithm 3 lines 12 and 24), so query gossip
+doubles as a freshness wave for the personal networks it touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..data.models import TaggingAction
+from ..similarity.metrics import overlap_score_from_actions
+from ..simulator.network import Network
+from ..simulator.stats import KIND_COMMON_ITEMS, KIND_DIGESTS, KIND_FULL_PROFILES
+from .digest import ProfileDigest
+from .interfaces import GossipPeer
+from .sizes import digest_message_size, tagging_actions_size
+
+#: Default number of stored-profile digests advertised per gossip message
+#: (the paper exchanges at most 50 profiles per cycle).
+DEFAULT_EXCHANGE_SIZE = 50
+
+
+class LazyExchangeProtocol:
+    """Personal-network maintenance through pairwise profile gossip."""
+
+    def __init__(
+        self,
+        exchange_size: int = DEFAULT_EXCHANGE_SIZE,
+        account_traffic: bool = True,
+        three_step: bool = True,
+    ) -> None:
+        """``three_step=False`` disables the digest pre-filtering and ships
+        full profiles for every advertised user -- the ablation baseline for
+        the bandwidth experiments."""
+        if exchange_size <= 0:
+            raise ValueError("exchange_size must be positive")
+        self.exchange_size = exchange_size
+        self.account_traffic = account_traffic
+        self.three_step = three_step
+        #: (receiver_id, subject_id) -> last digest version already evaluated,
+        #: so an unchanged random-view member is not re-scored every cycle.
+        self._evaluated: Dict[Tuple[int, int], int] = {}
+
+    # -- cycle entry points ---------------------------------------------------
+
+    def run_cycle(self, initiator: GossipPeer, network: Network) -> Optional[int]:
+        """One lazy top-layer cycle for ``initiator``.
+
+        Selects the personal-network neighbour with the oldest timestamp
+        (falling back to a random-view member while the personal network is
+        still empty), performs the symmetric exchange, and refreshes
+        candidates coming from the random view.  Returns the partner id, or
+        ``None`` if no partner was reachable.
+        """
+        partner_id = initiator.personal_network.select_oldest()
+        if partner_id is None:
+            partner_id = initiator.random_view.random_partner(initiator.rng)
+        if partner_id is None:
+            self.refresh_from_random_view(initiator, network)
+            return None
+        if partner_id in initiator.personal_network:
+            initiator.personal_network.mark_gossiped(partner_id)
+        partner = network.try_contact(partner_id)
+        if partner is None or not isinstance(partner, GossipPeer):
+            # Partner departed: the cycle's slot is lost, but the random view
+            # is still a source of fresh candidates.
+            self.refresh_from_random_view(initiator, network)
+            return None
+        self.exchange(initiator, partner, network)
+        self.refresh_from_random_view(initiator, network)
+        return partner_id
+
+    def exchange(self, initiator: GossipPeer, partner: GossipPeer, network: Network) -> None:
+        """Symmetric digest/profile exchange between two online peers."""
+        sent = initiator.stored_digest_sample(self.exchange_size)
+        received = partner.stored_digest_sample(self.exchange_size)
+        if self.account_traffic:
+            network.account(
+                initiator.node_id, partner.node_id, KIND_DIGESTS, digest_message_size(len(sent))
+            )
+            network.account(
+                partner.node_id, initiator.node_id, KIND_DIGESTS, digest_message_size(len(received))
+            )
+        self.integrate(partner, initiator, sent, network)
+        self.integrate(initiator, partner, received, network)
+
+    # -- Algorithm 1 ----------------------------------------------------------
+
+    def integrate(
+        self,
+        receiver: GossipPeer,
+        provider: GossipPeer,
+        digests: Iterable[ProfileDigest],
+        network: Network,
+        query_id: Optional[int] = None,
+    ) -> List[int]:
+        """Process digests received from ``provider`` (Algorithm 1).
+
+        Returns the list of user ids that were added to / refreshed in the
+        receiver's personal network.
+        """
+        own_items = receiver.profile.items
+        own_actions = receiver.profile.actions
+
+        candidates: List[ProfileDigest] = []
+        for digest in digests:
+            if digest.user_id == receiver.node_id:
+                continue
+            existing = receiver.personal_network.get(digest.user_id)
+            if existing is not None:
+                if digest.version <= existing.digest.version and existing.profile is not None:
+                    # Known neighbour, unchanged digest, replica present: drop.
+                    continue
+                candidates.append(digest)
+                continue
+            if self.three_step and not digest.shares_item_with(own_items):
+                # No common item: cannot have a positive score, drop.
+                continue
+            candidates.append(digest)
+
+        updated: List[int] = []
+        fetched_profiles: Set[int] = set()
+        for digest in candidates:
+            if not self.three_step:
+                profile = provider.full_profile_of(digest.user_id)
+                if profile is None:
+                    continue
+                if self.account_traffic:
+                    network.account(
+                        provider.node_id,
+                        receiver.node_id,
+                        KIND_FULL_PROFILES,
+                        tagging_actions_size(len(profile)),
+                        query_id=query_id,
+                    )
+                score = overlap_score_from_actions(own_actions, profile.actions)
+                if receiver.personal_network.consider(digest.user_id, score, digest):
+                    receiver.personal_network.store_profile(digest.user_id, profile)
+                    updated.append(digest.user_id)
+                    fetched_profiles.add(digest.user_id)
+                continue
+
+            # Step 2: pull only the actions on common items to score exactly.
+            common_items = {item for item in own_items if digest.might_contain_item(item)}
+            actions = provider.actions_for_items_of(digest.user_id, common_items)
+            if actions is None:
+                continue
+            if self.account_traffic:
+                network.account(
+                    provider.node_id,
+                    receiver.node_id,
+                    KIND_COMMON_ITEMS,
+                    tagging_actions_size(len(actions)),
+                    query_id=query_id,
+                )
+            score = overlap_score_from_actions(own_actions, actions)
+            if score <= 0:
+                # A Bloom false positive: no real common action after all.
+                continue
+            if receiver.personal_network.consider(digest.user_id, score, digest):
+                updated.append(digest.user_id)
+
+        # Step 3: fetch the full profiles of freshly-qualified top-c entries.
+        if self.three_step:
+            wanted = set(receiver.personal_network.profiles_wanted())
+            for user_id in sorted(wanted):
+                if user_id in fetched_profiles:
+                    continue
+                profile = provider.full_profile_of(user_id)
+                if profile is None:
+                    continue
+                if self.account_traffic:
+                    network.account(
+                        provider.node_id,
+                        receiver.node_id,
+                        KIND_FULL_PROFILES,
+                        tagging_actions_size(len(profile)),
+                        query_id=query_id,
+                    )
+                receiver.personal_network.store_profile(user_id, profile)
+        return updated
+
+    # -- random-view candidates -----------------------------------------------
+
+    def refresh_from_random_view(self, peer: GossipPeer, network: Network) -> List[int]:
+        """Score random-view members that might share an item (Section 2.2.1).
+
+        The profile of a random-view member ``v`` is obtained by contacting
+        ``v`` directly when her digest contains at least one item the local
+        user tagged.  A member whose digest version has already been
+        evaluated is skipped, so stable views do not generate traffic every
+        cycle.
+        """
+        own_items = peer.profile.items
+        own_actions = peer.profile.actions
+        added: List[int] = []
+        for digest in peer.random_view.digests():
+            cache_key = (peer.node_id, digest.user_id)
+            if self._evaluated.get(cache_key, -1) >= digest.version:
+                continue
+            self._evaluated[cache_key] = digest.version
+            if digest.user_id in peer.personal_network:
+                continue
+            if self.three_step and not digest.shares_item_with(own_items):
+                continue
+            subject = network.try_contact(digest.user_id)
+            if subject is None or not isinstance(subject, GossipPeer):
+                continue
+            if not self.three_step:
+                # Ablation variant: fetch the whole profile straight away.
+                profile = subject.full_profile_of(digest.user_id)
+                if profile is None:
+                    continue
+                if self.account_traffic:
+                    network.account(
+                        subject.node_id,
+                        peer.node_id,
+                        KIND_FULL_PROFILES,
+                        tagging_actions_size(len(profile)),
+                    )
+                score = overlap_score_from_actions(own_actions, profile.actions)
+                if score > 0 and peer.personal_network.consider(
+                    digest.user_id, score, subject.own_digest()
+                ):
+                    added.append(digest.user_id)
+                    peer.personal_network.store_profile(digest.user_id, profile)
+                continue
+            common_items = {item for item in own_items if digest.might_contain_item(item)}
+            actions = subject.actions_for_items_of(digest.user_id, common_items)
+            if actions is None:
+                continue
+            if self.account_traffic:
+                network.account(
+                    subject.node_id,
+                    peer.node_id,
+                    KIND_COMMON_ITEMS,
+                    tagging_actions_size(len(actions)),
+                )
+            score = overlap_score_from_actions(own_actions, actions)
+            if score <= 0:
+                continue
+            if peer.personal_network.consider(digest.user_id, score, subject.own_digest()):
+                added.append(digest.user_id)
+                if digest.user_id in peer.personal_network.profiles_wanted():
+                    profile = subject.full_profile_of(digest.user_id)
+                    if profile is not None:
+                        if self.account_traffic:
+                            network.account(
+                                subject.node_id,
+                                peer.node_id,
+                                KIND_FULL_PROFILES,
+                                tagging_actions_size(len(profile)),
+                            )
+                        peer.personal_network.store_profile(digest.user_id, profile)
+        return added

@@ -1,0 +1,280 @@
+"""Node-local views: the personal network and the random view.
+
+Every P3Q user maintains (Figure 1 of the paper):
+
+* a **personal network** of the ``s`` most similar users.  Each entry keeps
+  the neighbour's id, similarity score, profile digest and a gossip
+  timestamp; only the ``c`` highest-scored entries also keep a full local
+  replica of the neighbour's profile;
+* a **random view** of ``r`` users picked uniformly at random from the whole
+  system, maintained by the peer-sampling layer, each with a profile digest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..data.models import UserProfile
+from .digest import ProfileDigest
+
+
+@dataclass
+class NeighbourEntry:
+    """One neighbour of the personal network."""
+
+    user_id: int
+    score: float
+    digest: ProfileDigest
+    #: Number of cycles since this neighbour was last gossiped with.
+    timestamp: int = 0
+    #: Local replica of the neighbour's profile (only for the top-c entries).
+    profile: Optional[UserProfile] = None
+
+    @property
+    def stored_version(self) -> Optional[int]:
+        """Version of the stored replica, or ``None`` when nothing is stored."""
+        return self.profile.version if self.profile is not None else None
+
+
+class PersonalNetwork:
+    """The ``s`` most similar neighbours, with profiles stored for the top ``c``."""
+
+    def __init__(self, owner_id: int, size: int, storage: int) -> None:
+        if size <= 0:
+            raise ValueError("personal network size (s) must be positive")
+        if storage < 0:
+            raise ValueError("storage budget (c) must be non-negative")
+        self.owner_id = owner_id
+        self.size = size
+        self.storage = min(storage, size)
+        self._entries: Dict[int, NeighbourEntry] = {}
+
+    # -- basic accessors ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._entries
+
+    def entry(self, user_id: int) -> NeighbourEntry:
+        return self._entries[user_id]
+
+    def get(self, user_id: int) -> Optional[NeighbourEntry]:
+        return self._entries.get(user_id)
+
+    def member_ids(self) -> List[int]:
+        """All neighbour ids, descending score."""
+        return [entry.user_id for entry in self.ranked_entries()]
+
+    def ranked_entries(self) -> List[NeighbourEntry]:
+        """Entries ordered by descending score (ties on user id)."""
+        return sorted(self._entries.values(), key=lambda e: (-e.score, e.user_id))
+
+    def score_of(self, user_id: int) -> float:
+        entry = self._entries.get(user_id)
+        return entry.score if entry is not None else 0.0
+
+    # -- stored replicas ------------------------------------------------------
+
+    def stored_entries(self) -> List[NeighbourEntry]:
+        return [entry for entry in self.ranked_entries() if entry.profile is not None]
+
+    def stored_ids(self) -> List[int]:
+        return [entry.user_id for entry in self.stored_entries()]
+
+    def stored_profiles(self) -> Dict[int, UserProfile]:
+        """user_id -> locally stored profile replica."""
+        return {
+            entry.user_id: entry.profile
+            for entry in self._entries.values()
+            if entry.profile is not None
+        }
+
+    def has_stored_profile(self, user_id: int) -> bool:
+        entry = self._entries.get(user_id)
+        return entry is not None and entry.profile is not None
+
+    def unstored_ids(self) -> List[int]:
+        """Neighbours whose profiles are *not* stored locally.
+
+        This is exactly the initial remaining list of a query issued by the
+        owner of this personal network.
+        """
+        return [entry.user_id for entry in self.ranked_entries() if entry.profile is None]
+
+    # -- maintenance ----------------------------------------------------------
+
+    def consider(self, user_id: int, score: float, digest: ProfileDigest) -> bool:
+        """Insert or refresh a neighbour candidate.
+
+        Keeps the invariant that the network holds at most ``size`` entries,
+        all with positive scores, and that stored profiles only exist for the
+        ``storage`` highest-scored ones.  Returns ``True`` if the user is a
+        member of the network after the call.
+        """
+        if user_id == self.owner_id:
+            return False
+        if score <= 0:
+            # Zero-score users never qualify; drop them if they were members
+            # (their score can only have been recomputed downward after a
+            # profile change on our side).
+            self._entries.pop(user_id, None)
+            return False
+        existing = self._entries.get(user_id)
+        if existing is not None:
+            existing.score = score
+            if digest.version >= existing.digest.version:
+                existing.digest = digest
+                if existing.profile is not None and existing.profile.version < digest.version:
+                    # The stored replica is stale; it remains usable (old
+                    # opinions stay meaningful) until refreshed by gossip.
+                    pass
+        else:
+            self._entries[user_id] = NeighbourEntry(user_id=user_id, score=score, digest=digest)
+        self._truncate()
+        return user_id in self._entries
+
+    def _truncate(self) -> None:
+        """Keep only the ``size`` best entries and demote excess replicas."""
+        if len(self._entries) > self.size:
+            ranked = self.ranked_entries()
+            for entry in ranked[self.size:]:
+                del self._entries[entry.user_id]
+        self._enforce_storage_budget()
+
+    def _enforce_storage_budget(self) -> None:
+        ranked = self.ranked_entries()
+        keep = {entry.user_id for entry in ranked[: self.storage]}
+        for entry in ranked[self.storage:]:
+            if entry.profile is not None:
+                entry.profile = None
+        # Entries in `keep` may still lack a profile; fetching it is the
+        # responsibility of the exchange protocol (profiles_wanted()).
+        del keep
+
+    def profiles_wanted(self) -> List[int]:
+        """Top-``storage`` neighbours whose replica is missing or stale."""
+        wanted: List[int] = []
+        for entry in self.ranked_entries()[: self.storage]:
+            if entry.profile is None or entry.profile.version < entry.digest.version:
+                wanted.append(entry.user_id)
+        return wanted
+
+    def store_profile(self, user_id: int, profile: UserProfile) -> bool:
+        """Store (a copy of) a neighbour's profile if she is in the top-``c``.
+
+        Returns ``True`` if the replica was stored.
+        """
+        entry = self._entries.get(user_id)
+        if entry is None:
+            return False
+        top = {e.user_id for e in self.ranked_entries()[: self.storage]}
+        if user_id not in top:
+            return False
+        entry.profile = profile.copy()
+        return True
+
+    def drop_member(self, user_id: int) -> None:
+        """Remove a neighbour entirely (not used by the paper's protocol,
+        which never forgets departed users, but exposed for experiments)."""
+        self._entries.pop(user_id, None)
+
+    # -- gossip partner selection ---------------------------------------------
+
+    def select_oldest(self, restrict_to: Optional[Iterable[int]] = None) -> Optional[int]:
+        """The neighbour with the oldest timestamp, without mutating state.
+
+        ``restrict_to`` limits the choice to a subset (the eager mode only
+        gossips with neighbours that are also in the remaining list).
+        """
+        candidates = list(self._entries.values())
+        if restrict_to is not None:
+            allowed = set(restrict_to)
+            candidates = [entry for entry in candidates if entry.user_id in allowed]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda e: (-e.timestamp, -e.score, e.user_id))
+        return candidates[0].user_id
+
+    def mark_gossiped(self, user_id: int) -> None:
+        """Reset the partner's timestamp and age every other entry by one."""
+        for entry in self._entries.values():
+            if entry.user_id == user_id:
+                entry.timestamp = 0
+            else:
+                entry.timestamp += 1
+
+    # -- storage metric -------------------------------------------------------
+
+    def stored_profile_length(self) -> int:
+        """Sum of stored replica lengths (the paper's Figure 5 metric)."""
+        return sum(len(entry.profile) for entry in self._entries.values() if entry.profile)
+
+    def total_profile_length(self, profile_lengths: Dict[int, int]) -> int:
+        """Sum of *all* neighbours' profile lengths (storage upper bound)."""
+        return sum(profile_lengths.get(uid, 0) for uid in self._entries)
+
+
+class RandomView:
+    """The ``r`` uniformly random neighbours maintained by peer sampling."""
+
+    def __init__(self, owner_id: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("random view size (r) must be positive")
+        self.owner_id = owner_id
+        self.size = size
+        self._entries: Dict[int, ProfileDigest] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._entries
+
+    def member_ids(self) -> List[int]:
+        return sorted(self._entries)
+
+    def digests(self) -> List[ProfileDigest]:
+        return [self._entries[uid] for uid in sorted(self._entries)]
+
+    def digest_of(self, user_id: int) -> Optional[ProfileDigest]:
+        return self._entries.get(user_id)
+
+    def add(self, digest: ProfileDigest) -> None:
+        """Insert a digest directly (bootstrap)."""
+        if digest.user_id == self.owner_id:
+            return
+        self._entries[digest.user_id] = digest
+        self._shrink_random(random.Random(self.owner_id))
+
+    def random_partner(self, rng: random.Random) -> Optional[int]:
+        """A uniformly random member to gossip with."""
+        members = self.member_ids()
+        if not members:
+            return None
+        return rng.choice(members)
+
+    def merge(self, received: Iterable[ProfileDigest], rng: random.Random) -> None:
+        """Union with the received digests, then keep ``size`` at random.
+
+        Newer digest versions replace older ones for the same user; the owner
+        is never a member of her own view.
+        """
+        pool: Dict[int, ProfileDigest] = dict(self._entries)
+        for digest in received:
+            if digest.user_id == self.owner_id:
+                continue
+            current = pool.get(digest.user_id)
+            if current is None or digest.version >= current.version:
+                pool[digest.user_id] = digest
+        self._entries = pool
+        self._shrink_random(rng)
+
+    def _shrink_random(self, rng: random.Random) -> None:
+        if len(self._entries) <= self.size:
+            return
+        keep = rng.sample(sorted(self._entries), k=self.size)
+        self._entries = {uid: self._entries[uid] for uid in keep}

@@ -1,0 +1,51 @@
+"""Evaluation metrics: recall, convergence, freshness, bandwidth/storage."""
+
+from .recall import (
+    average_recall,
+    fraction_below_full_recall,
+    recall,
+    recall_per_cycle,
+)
+from .convergence import (
+    average_success_ratio,
+    fraction_with_complete_new_network,
+    success_ratio,
+    users_with_changed_networks,
+)
+from .freshness import average_update_rate, profiles_to_update, update_rate
+from .bandwidth import (
+    MAINTENANCE_KINDS,
+    QUERY_KINDS,
+    QueryTraffic,
+    StorageRequirement,
+    average_partial_result_messages,
+    average_query_bytes,
+    maintenance_bandwidth_bps,
+    query_bandwidth_bps,
+    query_traffic_breakdown,
+    storage_requirements,
+)
+
+__all__ = [
+    "MAINTENANCE_KINDS",
+    "QUERY_KINDS",
+    "QueryTraffic",
+    "StorageRequirement",
+    "average_partial_result_messages",
+    "average_query_bytes",
+    "average_recall",
+    "average_success_ratio",
+    "average_update_rate",
+    "fraction_below_full_recall",
+    "fraction_with_complete_new_network",
+    "maintenance_bandwidth_bps",
+    "profiles_to_update",
+    "query_bandwidth_bps",
+    "query_traffic_breakdown",
+    "recall",
+    "recall_per_cycle",
+    "storage_requirements",
+    "success_ratio",
+    "update_rate",
+    "users_with_changed_networks",
+]

@@ -1,0 +1,80 @@
+"""Replica freshness: the average update rate (AUR), Figures 7 and 9.
+
+When profiles change, their replicas scattered across personal networks
+become stale until gossip refreshes them.  For one user, the update rate is
+
+    (# updated replicas in her personal network) /
+    (# replicas in her personal network that are subject to a change)
+
+and the AUR is the average over users that have at least one replica to
+update.  Figure 9 computes the same quantity restricted to the users reached
+by eager gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
+
+
+def update_rate(
+    stored_versions: Mapping[int, int],
+    current_versions: Mapping[int, int],
+    changed_users: Set[int],
+) -> Optional[float]:
+    """Update rate of one user's stored replicas.
+
+    ``stored_versions`` maps replica owner -> version of the stored copy;
+    ``current_versions`` maps user -> true current profile version;
+    ``changed_users`` is the set of users whose profiles changed.  Returns
+    ``None`` when none of the stored replicas belongs to a changed user (the
+    user has nothing to update and does not enter the average).
+    """
+    relevant = [uid for uid in stored_versions if uid in changed_users]
+    if not relevant:
+        return None
+    updated = sum(
+        1 for uid in relevant if stored_versions[uid] >= current_versions.get(uid, 0)
+    )
+    return updated / len(relevant)
+
+
+def average_update_rate(
+    replicas_by_owner: Mapping[int, Mapping[int, int]],
+    current_versions: Mapping[int, int],
+    changed_users: Set[int],
+    restrict_to: Optional[Iterable[int]] = None,
+) -> float:
+    """AUR over all owners (or over ``restrict_to``, for the Figure 9 variant).
+
+    Owners with no replica subject to change are excluded from the average,
+    matching the paper's definition (the denominator only counts profiles
+    "owing update").  Returns 1.0 when nobody has anything to update.
+    """
+    owners = set(replicas_by_owner)
+    if restrict_to is not None:
+        owners &= set(restrict_to)
+    rates = []
+    for owner in owners:
+        rate = update_rate(replicas_by_owner[owner], current_versions, changed_users)
+        if rate is not None:
+            rates.append(rate)
+    if not rates:
+        return 1.0
+    return sum(rates) / len(rates)
+
+
+def profiles_to_update(
+    replicas_by_owner: Mapping[int, Mapping[int, int]],
+    changed_users: Set[int],
+) -> Dict[int, int]:
+    """owner -> number of stored replicas that belong to changed users.
+
+    This is the quantity behind Table 2 ("average / maximum number of
+    profiles to update" per storage budget).
+    """
+    out: Dict[int, int] = {}
+    for owner, replicas in replicas_by_owner.items():
+        count = sum(1 for uid in replicas if uid in changed_users)
+        if count:
+            out[owner] = count
+    return out

@@ -1,0 +1,78 @@
+"""Recall of top-k results against the centralized reference.
+
+``R_k = (# retrieved relevant items) / (# relevant items)``, where the
+relevant items of a query are the k items returned by the centralized
+baseline (Section 3.2.2).  The experiments report the average ``R_10`` over
+all queries, per eager cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def recall(retrieved: Sequence[int], relevant: Sequence[int]) -> float:
+    """Recall of one result list against one reference list.
+
+    A query with an empty reference set has recall 1 (nothing to find).
+    """
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 1.0
+    retrieved_set = set(retrieved)
+    return len(retrieved_set & relevant_set) / len(relevant_set)
+
+
+def average_recall(
+    results: Mapping[int, Sequence[int]],
+    references: Mapping[int, Sequence[int]],
+) -> float:
+    """Average recall over queries present in ``references``.
+
+    Queries missing from ``results`` count as empty result lists, so a query
+    that produced nothing drags the average down instead of being ignored.
+    """
+    if not references:
+        return 1.0
+    total = 0.0
+    for query_id, relevant in references.items():
+        total += recall(results.get(query_id, ()), relevant)
+    return total / len(references)
+
+
+def recall_per_cycle(
+    snapshots_by_query: Mapping[int, Sequence["object"]],
+    references: Mapping[int, Sequence[int]],
+    cycles: int,
+) -> List[float]:
+    """Average recall after each eager cycle 0..cycles (Figures 3, 4, 11).
+
+    ``snapshots_by_query`` maps query id -> list of
+    :class:`~repro.p3q.query.CycleSnapshot`; for cycles beyond a query's last
+    snapshot its final results are carried forward (the querier keeps
+    displaying her best-known answer).
+    """
+    series: List[float] = []
+    for cycle in range(cycles + 1):
+        results: Dict[int, Sequence[int]] = {}
+        for query_id, snapshots in snapshots_by_query.items():
+            usable = [s for s in snapshots if s.cycle <= cycle]
+            if usable:
+                results[query_id] = usable[-1].items
+        series.append(average_recall(results, references))
+    return series
+
+
+def fraction_below_full_recall(
+    results: Mapping[int, Sequence[int]],
+    references: Mapping[int, Sequence[int]],
+) -> float:
+    """Fraction of queries whose recall is strictly below 1 (Figure 11c)."""
+    if not references:
+        return 0.0
+    below = sum(
+        1
+        for query_id, relevant in references.items()
+        if recall(results.get(query_id, ()), relevant) < 1.0
+    )
+    return below / len(references)

@@ -1,0 +1,108 @@
+"""Configuration of a P3Q deployment / simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+#: Storage budgets can be uniform (one int) or heterogeneous (per-user map).
+StorageSpec = Union[int, Mapping[int, int]]
+
+
+@dataclass(frozen=True)
+class P3QConfig:
+    """Protocol and simulation parameters.
+
+    Defaults follow the paper where a single value is given, scaled where the
+    paper uses values tied to the 10,000-user trace.
+    """
+
+    #: Personal network size ``s`` (paper: 1000 on the 10,000-user trace).
+    network_size: int = 100
+    #: Stored-profile budget ``c`` -- uniform int or per-user mapping
+    #: (paper scenarios: 10..1000 uniform, or Poisson-distributed).
+    storage: StorageSpec = 10
+    #: Random view size ``r`` (paper: 10).
+    random_view_size: int = 10
+    #: Number of results per query (paper: top-10).
+    k: int = 10
+    #: Remaining-list split parameter (paper default and optimum: 0.5).
+    alpha: float = 0.5
+    #: Max number of stored-profile digests advertised per gossip (paper: 50).
+    exchange_size: int = 50
+    #: Bloom filter sizing for the digests (paper: 20 Kbit / 14 hashes give
+    #: ~0.1% false positives at ~250 items).  Tests may shrink this.
+    digest_bits: int = 20_000
+    digest_hashes: int = 14
+    #: Root seed for all deterministic randomness.
+    seed: int = 0
+    #: Record per-message traffic in the StatsCollector.
+    account_traffic: bool = True
+    #: Use the 3-step digest/common-items/full-profile exchange.  Setting this
+    #: to False ships full profiles immediately (bandwidth ablation).
+    three_step_exchange: bool = True
+    #: Run the lazy-style network maintenance inside eager gossip.
+    eager_maintains_networks: bool = True
+    #: Wall-clock duration of one lazy cycle (paper: 60 s).
+    lazy_cycle_seconds: float = 60.0
+    #: Wall-clock duration of one eager cycle (paper: 5 s).
+    eager_cycle_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.network_size <= 0:
+            raise ValueError("network_size must be positive")
+        if self.random_view_size <= 0:
+            raise ValueError("random_view_size must be positive")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if isinstance(self.storage, int) and self.storage < 0:
+            raise ValueError("storage must be non-negative")
+
+    def storage_for(self, user_id: int) -> int:
+        """The stored-profile budget ``c`` of one user."""
+        if isinstance(self.storage, int):
+            return self.storage
+        try:
+            return int(self.storage[user_id])
+        except KeyError:
+            raise KeyError(f"no storage budget configured for user {user_id}") from None
+
+    def with_storage(self, storage: StorageSpec) -> "P3QConfig":
+        """A copy of this config with a different storage specification."""
+        return P3QConfig(
+            network_size=self.network_size,
+            storage=storage,
+            random_view_size=self.random_view_size,
+            k=self.k,
+            alpha=self.alpha,
+            exchange_size=self.exchange_size,
+            digest_bits=self.digest_bits,
+            digest_hashes=self.digest_hashes,
+            seed=self.seed,
+            account_traffic=self.account_traffic,
+            three_step_exchange=self.three_step_exchange,
+            eager_maintains_networks=self.eager_maintains_networks,
+            lazy_cycle_seconds=self.lazy_cycle_seconds,
+            eager_cycle_seconds=self.eager_cycle_seconds,
+        )
+
+    def with_alpha(self, alpha: float) -> "P3QConfig":
+        """A copy of this config with a different split parameter."""
+        return P3QConfig(
+            network_size=self.network_size,
+            storage=self.storage,
+            random_view_size=self.random_view_size,
+            k=self.k,
+            alpha=alpha,
+            exchange_size=self.exchange_size,
+            digest_bits=self.digest_bits,
+            digest_hashes=self.digest_hashes,
+            seed=self.seed,
+            account_traffic=self.account_traffic,
+            three_step_exchange=self.three_step_exchange,
+            eager_maintains_networks=self.eager_maintains_networks,
+            lazy_cycle_seconds=self.lazy_cycle_seconds,
+            eager_cycle_seconds=self.eager_cycle_seconds,
+        )

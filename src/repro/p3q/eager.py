@@ -1,0 +1,250 @@
+"""Eager-mode query gossip (paper Algorithms 2 and 3).
+
+The eager mode runs on demand, at a higher frequency than the lazy mode, and
+only among the users reached by a query.  Its job is to collect, through the
+personal networks, the contributions of the neighbours whose profiles the
+querier does not store:
+
+* a node holding a non-empty remaining list for a query initiates one gossip
+  per cycle, preferring the remaining-list member of its personal network
+  with the oldest timestamp (and falling back to a random remaining-list
+  member);
+* the destination removes from the list every user whose profile it stores
+  (including itself), computes the corresponding partial result and sends it
+  *directly* to the querier, keeps a ``1-α`` share of what is left and
+  returns the ``α`` share to the initiator;
+* both partners also refresh their personal networks exactly as in the lazy
+  mode, which is why eager gossip doubles as a freshness wave.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.queries import Query
+from ..simulator.network import Network
+from ..simulator.stats import (
+    KIND_PARTIAL_RESULT,
+    KIND_REMAINING_FORWARD,
+    KIND_REMAINING_RETURN,
+)
+from ..gossip.profile_exchange import LazyExchangeProtocol
+from ..gossip.sizes import partial_result_size, remaining_list_size
+from .query import PartialResult
+from .scoring import partial_scores
+
+
+class EagerGossipProtocol:
+    """The query-gossip layer shared by every node of a simulation."""
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        lazy: Optional[LazyExchangeProtocol] = None,
+        account_traffic: bool = True,
+        maintain_networks: bool = True,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self.alpha = alpha
+        self.lazy = lazy or LazyExchangeProtocol(account_traffic=account_traffic)
+        self.account_traffic = account_traffic
+        #: When False, eager gossip skips the lazy-style digest exchange; used
+        #: by the ablation that isolates query traffic from maintenance traffic.
+        self.maintain_networks = maintain_networks
+
+    # -- destination selection -------------------------------------------------
+
+    def select_destination(
+        self,
+        initiator: "EagerParticipant",
+        remaining: Sequence[int],
+        network: Network,
+    ) -> Optional[int]:
+        """Pick a gossip destination from the remaining list (Algorithm 3, 4-9).
+
+        Preference goes to remaining-list members that are also personal
+        network neighbours, oldest timestamp first; otherwise a random
+        remaining-list member.  Unreachable (departed) candidates are skipped,
+        which is how churn slows the processing down without deadlocking it.
+        """
+        if not remaining:
+            return None
+        in_network = [uid for uid in remaining if uid in initiator.personal_network]
+        ordered: List[int] = []
+        if in_network:
+            entries = sorted(
+                (initiator.personal_network.entry(uid) for uid in in_network),
+                key=lambda e: (-e.timestamp, -e.score, e.user_id),
+            )
+            ordered.extend(entry.user_id for entry in entries)
+        others = [uid for uid in remaining if uid not in set(ordered)]
+        initiator.rng.shuffle(others)
+        ordered.extend(others)
+        for candidate in ordered:
+            if network.try_contact(candidate) is not None:
+                return candidate
+        return None
+
+    # -- one gossip step --------------------------------------------------------
+
+    def gossip_query(
+        self,
+        initiator: "EagerParticipant",
+        query: Query,
+        remaining: Sequence[int],
+        network: Network,
+        cycle: int,
+    ) -> List[int]:
+        """One eager gossip initiated by ``initiator`` for ``query``.
+
+        Returns the initiator's new remaining list.  If no destination is
+        reachable the list is returned unchanged (the cycle is lost).
+        """
+        remaining = list(remaining)
+        if not remaining:
+            return remaining
+        destination_id = self.select_destination(initiator, remaining, network)
+        if destination_id is None:
+            return remaining
+        destination = network.try_contact(destination_id)
+        if destination is None:
+            return remaining
+        if destination_id in initiator.personal_network:
+            initiator.personal_network.mark_gossiped(destination_id)
+
+        if self.account_traffic:
+            network.account(
+                initiator.node_id,
+                destination_id,
+                KIND_REMAINING_FORWARD,
+                remaining_list_size(len(remaining)),
+                query_id=query.query_id,
+            )
+
+        returned = destination.receive_query_gossip(
+            initiator=initiator,
+            query=query,
+            remaining=remaining,
+            network=network,
+            cycle=cycle,
+            protocol=self,
+        )
+
+        if self.account_traffic:
+            network.account(
+                destination_id,
+                initiator.node_id,
+                KIND_REMAINING_RETURN,
+                remaining_list_size(len(returned)),
+                query_id=query.query_id,
+            )
+
+        if self.maintain_networks:
+            # "Maintain personal network as in lazy mode" (Algorithm 3, 12/24).
+            self.lazy.exchange(initiator, destination, network)
+        return returned
+
+    # -- destination-side processing --------------------------------------------
+
+    def process_at_destination(
+        self,
+        destination: "EagerParticipant",
+        query: Query,
+        remaining: Sequence[int],
+        network: Network,
+        cycle: int,
+    ) -> Tuple[List[int], List[int]]:
+        """Destination-side handling (Algorithm 3, lines 17-23).
+
+        Returns ``(returned_list, kept_list)``: the share sent back to the
+        initiator and the share the destination takes responsibility for.
+        Also computes and ships the partial result to the querier.
+        """
+        remaining = list(remaining)
+        already = destination.contributed_profiles(query.query_id)
+        found: List[int] = []
+        left: List[int] = []
+        for user_id in remaining:
+            profile = destination.profile_for_query(user_id)
+            if profile is not None and user_id not in already:
+                found.append(user_id)
+            elif profile is not None:
+                # Profile already contributed for this query by this node:
+                # drop it from the list without re-counting it.
+                continue
+            else:
+                left.append(user_id)
+
+        if found:
+            profiles = [destination.profile_for_query(uid) for uid in found]
+            scores = partial_scores(profiles, query)
+            destination.mark_contributed(query.query_id, found)
+            self._send_partial_result(
+                destination, query, scores, found, network, cycle
+            )
+
+        keep_count = int((1.0 - self.alpha) * len(left))
+        shuffled = list(left)
+        destination.rng.shuffle(shuffled)
+        kept = sorted(shuffled[:keep_count])
+        returned = sorted(set(left) - set(kept))
+        return returned, kept
+
+    def _send_partial_result(
+        self,
+        sender: "EagerParticipant",
+        query: Query,
+        scores: Dict[int, float],
+        contributors: Sequence[int],
+        network: Network,
+        cycle: int,
+    ) -> None:
+        querier = network.try_contact(query.querier)
+        if querier is None:
+            return
+        partial = PartialResult(
+            query_id=query.query_id,
+            sender=sender.node_id,
+            scores=dict(scores),
+            contributors=tuple(sorted(contributors)),
+            cycle=cycle,
+        )
+        if self.account_traffic:
+            network.account(
+                sender.node_id,
+                query.querier,
+                KIND_PARTIAL_RESULT,
+                partial_result_size(len(scores), len(contributors)),
+                query_id=query.query_id,
+            )
+        querier.receive_partial_result(partial)
+
+
+class EagerParticipant:
+    """Typing helper documenting what :class:`EagerGossipProtocol` expects.
+
+    The concrete implementation is :class:`repro.p3q.node.P3QNode`; this
+    class only exists so the protocol's expectations are written down in one
+    place (and so tests can provide minimal fakes).
+    """
+
+    node_id: int
+    personal_network: "object"
+    rng: random.Random
+
+    def profile_for_query(self, user_id: int):  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+    def contributed_profiles(self, query_id: int) -> Set[int]:  # pragma: no cover
+        raise NotImplementedError
+
+    def mark_contributed(self, query_id: int, user_ids: Sequence[int]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def receive_query_gossip(self, **kwargs):  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+    def receive_partial_result(self, partial: PartialResult) -> None:  # pragma: no cover
+        raise NotImplementedError

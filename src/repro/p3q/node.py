@@ -1,0 +1,239 @@
+"""The P3Q node: a user, her views, and both gossip modes.
+
+A :class:`P3QNode` combines
+
+* the user's own profile;
+* the personal network (``s`` neighbours, ``c`` stored replicas) and random
+  view (``r`` random peers) defined in :mod:`repro.gossip.views`;
+* the lazy mode -- random peer sampling plus the Algorithm 1 exchange -- run
+  once per ``"lazy"`` cycle;
+* the eager mode -- query issuing, query gossip and querier-side result
+  merging -- run once per ``"eager"`` cycle for every query the node is
+  involved in.
+
+The node satisfies both the simulator's :class:`~repro.simulator.node.Node`
+interface and the gossip layer's :class:`~repro.gossip.interfaces.GossipPeer`
+protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..data.models import TaggingAction, UserProfile
+from ..data.queries import Query
+from ..gossip.digest import DigestProvider, ProfileDigest
+from ..gossip.peer_sampling import PeerSamplingProtocol
+from ..gossip.profile_exchange import LazyExchangeProtocol
+from ..gossip.views import PersonalNetwork, RandomView
+from ..simulator.engine import PHASE_EAGER, PHASE_LAZY
+from ..simulator.node import Node
+from .config import P3QConfig
+from .eager import EagerGossipProtocol
+from .query import CycleSnapshot, ForwardedQueryState, PartialResult, QuerySession
+from .scoring import partial_scores
+
+
+class P3QNode(Node):
+    """One user of the P3Q system."""
+
+    def __init__(
+        self,
+        profile: UserProfile,
+        config: P3QConfig,
+        peer_sampling: Optional[PeerSamplingProtocol] = None,
+        lazy: Optional[LazyExchangeProtocol] = None,
+        eager: Optional[EagerGossipProtocol] = None,
+    ) -> None:
+        super().__init__(profile.user_id)
+        self.profile = profile
+        self.config = config
+        storage = config.storage_for(profile.user_id)
+        self.personal_network = PersonalNetwork(
+            owner_id=profile.user_id,
+            size=config.network_size,
+            storage=storage,
+        )
+        self.random_view = RandomView(owner_id=profile.user_id, size=config.random_view_size)
+        self._digest_provider = DigestProvider(
+            profile, num_bits=config.digest_bits, num_hashes=config.digest_hashes
+        )
+        self._rng = random.Random(f"{config.seed}/node/{profile.user_id}")
+        # Protocol objects are usually shared across all nodes of a simulation
+        # (they are stateless apart from caches); standalone nodes build their own.
+        self.peer_sampling = peer_sampling or PeerSamplingProtocol(
+            account_traffic=config.account_traffic
+        )
+        self.lazy = lazy or LazyExchangeProtocol(
+            exchange_size=config.exchange_size,
+            account_traffic=config.account_traffic,
+            three_step=config.three_step_exchange,
+        )
+        self.eager = eager or EagerGossipProtocol(
+            alpha=config.alpha,
+            lazy=self.lazy,
+            account_traffic=config.account_traffic,
+            maintain_networks=config.eager_maintains_networks,
+        )
+        #: Query sessions for queries issued *by this node*.
+        self.sessions: Dict[int, QuerySession] = {}
+        #: Remaining-list responsibilities for queries issued by other nodes.
+        self.forwarded: Dict[int, ForwardedQueryState] = {}
+        #: query_id -> profiles this node has already contributed to it.
+        self._contributed: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def own_digest(self) -> ProfileDigest:
+        return self._digest_provider.current()
+
+    def stored_digest_sample(self, limit: int) -> List[ProfileDigest]:
+        """Digests advertised in a gossip message: own + sample of stored."""
+        entries = self.personal_network.stored_entries()
+        digests = [entry.digest for entry in entries]
+        if len(digests) > limit:
+            digests = self._rng.sample(digests, k=limit)
+        return [self.own_digest()] + digests
+
+    def actions_for_items_of(self, subject_id: int, items: Set[int]) -> Optional[Set[TaggingAction]]:
+        profile = self._held_profile(subject_id)
+        if profile is None:
+            return None
+        return profile.actions_for_items(items)
+
+    def full_profile_of(self, subject_id: int) -> Optional[UserProfile]:
+        profile = self._held_profile(subject_id)
+        if profile is None:
+            return None
+        return profile.copy()
+
+    def _held_profile(self, subject_id: int) -> Optional[UserProfile]:
+        if subject_id == self.node_id:
+            return self.profile
+        entry = self.personal_network.get(subject_id)
+        if entry is not None and entry.profile is not None:
+            return entry.profile
+        return None
+
+    # --------------------------------------------------------------- lifecycle
+
+    def bootstrap_random_view(self, digests: Sequence[ProfileDigest]) -> None:
+        """Seed the random view (initial contact discovery)."""
+        self.random_view.merge(digests, self._rng)
+
+    def on_cycle(self, cycle: int, phase: str) -> None:
+        if phase == PHASE_LAZY:
+            self._run_lazy_cycle()
+        elif phase == PHASE_EAGER:
+            self._run_eager_cycle(cycle)
+
+    def _run_lazy_cycle(self) -> None:
+        # Bottom layer and top layer run in parallel at each lazy cycle.
+        self.peer_sampling.run_cycle(self, self.network)
+        self.lazy.run_cycle(self, self.network)
+
+    def _run_eager_cycle(self, cycle: int) -> None:
+        # Own queries: the querier is also a gossip initiator (Algorithm 2).
+        for session in self.sessions.values():
+            if session.remaining:
+                session.remaining = self.eager.gossip_query(
+                    self, session.query, session.remaining, self.network, cycle
+                )
+        # Queries this node was reached by (Algorithm 3, initiator role).
+        for state in self.forwarded.values():
+            if state.active:
+                state.remaining = self.eager.gossip_query(
+                    self, state.query, state.remaining, self.network, cycle
+                )
+
+    # ------------------------------------------------------------ query (own)
+
+    def issue_query(self, query: Query, k: Optional[int] = None) -> QuerySession:
+        """Start processing a query issued by this node (Algorithm 2).
+
+        The local partial result (own profile plus every stored replica) is
+        computed immediately; the remaining list holds the personal-network
+        neighbours whose profiles are not stored locally.
+        """
+        if query.querier != self.node_id:
+            raise ValueError(
+                f"node {self.node_id} cannot issue a query owned by {query.querier}"
+            )
+        session = QuerySession(
+            query=query,
+            k=k or self.config.k,
+            personal_network_ids=self.personal_network.member_ids(),
+        )
+        local_profiles = [self.profile] + list(self.personal_network.stored_profiles().values())
+        contributors = [self.node_id] + self.personal_network.stored_ids()
+        scores = partial_scores(local_profiles, query)
+        session.add_local_result(scores, contributors, cycle=0)
+        session.set_remaining(self.personal_network.unstored_ids())
+        self.mark_contributed(query.query_id, contributors)
+        self.sessions[query.query_id] = session
+        return session
+
+    def receive_partial_result(self, partial: PartialResult) -> None:
+        session = self.sessions.get(partial.query_id)
+        if session is not None:
+            session.receive_partial(partial)
+
+    def close_eager_cycle(self, cycle: int) -> List[CycleSnapshot]:
+        """Merge the partial results of this cycle for every own query."""
+        return [session.close_cycle(cycle) for session in self.sessions.values()]
+
+    def has_active_queries(self) -> bool:
+        """True while any query this node participates in still has work."""
+        if any(session.remaining for session in self.sessions.values()):
+            return True
+        return any(state.active for state in self.forwarded.values())
+
+    # --------------------------------------------------- query (reached nodes)
+
+    def receive_query_gossip(
+        self,
+        initiator: "P3QNode",
+        query: Query,
+        remaining: Sequence[int],
+        network,
+        cycle: int,
+        protocol: EagerGossipProtocol,
+    ) -> List[int]:
+        """Handle an incoming eager gossip message (Algorithm 3, destination)."""
+        returned, kept = protocol.process_at_destination(
+            self, query, remaining, network, cycle
+        )
+        if kept:
+            state = self.forwarded.get(query.query_id)
+            if state is None:
+                self.forwarded[query.query_id] = ForwardedQueryState(
+                    query=query, remaining=list(kept)
+                )
+            else:
+                merged = set(state.remaining) | set(kept)
+                state.remaining = sorted(merged)
+        return returned
+
+    def profile_for_query(self, user_id: int) -> Optional[UserProfile]:
+        """A profile this node can contribute to a query, or ``None``."""
+        return self._held_profile(user_id)
+
+    def contributed_profiles(self, query_id: int) -> Set[int]:
+        return self._contributed.get(query_id, set())
+
+    def mark_contributed(self, query_id: int, user_ids: Sequence[int]) -> None:
+        self._contributed.setdefault(query_id, set()).update(user_ids)
+
+    # ----------------------------------------------------------------- metrics
+
+    def stored_profile_versions(self) -> Dict[int, int]:
+        """user_id -> version of the stored replica (freshness metric input)."""
+        return {
+            uid: profile.version
+            for uid, profile in self.personal_network.stored_profiles().items()
+        }

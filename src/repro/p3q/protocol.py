@@ -1,0 +1,227 @@
+"""Wiring P3Q nodes into a full simulation.
+
+:class:`P3QSimulation` is the orchestration layer the experiments use: it
+builds one :class:`~repro.p3q.node.P3QNode` per user of a dataset, hooks them
+into the cycle-driven simulator, and exposes the operations the paper's
+evaluation needs -- bootstrap, lazy convergence, warm start from the ideal
+networks, query issuing, eager processing, profile changes and churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from ..data.models import ChangeDay, Dataset
+from ..data.dynamics import apply_change_day
+from ..data.queries import Query
+from ..gossip.digest import ProfileDigest
+from ..gossip.peer_sampling import PeerSamplingProtocol
+from ..gossip.profile_exchange import LazyExchangeProtocol
+from ..gossip.views import PersonalNetwork
+from ..similarity.knn import IdealNetworkIndex
+from ..simulator.engine import PHASE_EAGER, PHASE_LAZY, SimulationEngine
+from ..simulator.network import Network
+from ..simulator.stats import KIND_REMAINING_FORWARD, StatsCollector
+from .config import P3QConfig
+from .eager import EagerGossipProtocol
+from .node import P3QNode
+from .query import CycleSnapshot, QuerySession
+
+
+class P3QSimulation:
+    """A complete P3Q deployment over a dataset, driven cycle by cycle."""
+
+    def __init__(self, dataset: Dataset, config: P3QConfig) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.stats = StatsCollector()
+        self.network = Network(stats=self.stats)
+        self.engine = SimulationEngine(self.network, seed=config.seed)
+        # One shared instance of each protocol: they are stateless apart from
+        # bounded caches, and sharing keeps memory linear in the user count.
+        self.peer_sampling = PeerSamplingProtocol(account_traffic=config.account_traffic)
+        self.lazy = LazyExchangeProtocol(
+            exchange_size=config.exchange_size,
+            account_traffic=config.account_traffic,
+            three_step=config.three_step_exchange,
+        )
+        self.eager = EagerGossipProtocol(
+            alpha=config.alpha,
+            lazy=self.lazy,
+            account_traffic=config.account_traffic,
+            maintain_networks=config.eager_maintains_networks,
+        )
+        self.nodes: Dict[int, P3QNode] = {}
+        for profile in dataset.profiles():
+            node = P3QNode(
+                profile=profile,
+                config=config,
+                peer_sampling=self.peer_sampling,
+                lazy=self.lazy,
+                eager=self.eager,
+            )
+            self.nodes[node.node_id] = node
+            self.network.add_node(node)
+        self._bootstrap_rng = self.engine.rng_factory.for_purpose("bootstrap")
+        self._eager_cycles_run = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def node(self, user_id: int) -> P3QNode:
+        return self.nodes[user_id]
+
+    def bootstrap_random_views(self, contacts_per_node: Optional[int] = None) -> None:
+        """Seed every node's random view with random contacts.
+
+        The paper assumes users first discover "the contact information of
+        any user currently in the system" through peer sampling; seeding each
+        view with ``r`` random digests reproduces that starting point.
+        """
+        count = contacts_per_node or self.config.random_view_size
+        user_ids = list(self.nodes)
+        for node in self.nodes.values():
+            others = [uid for uid in user_ids if uid != node.node_id]
+            if not others:
+                continue
+            sample = self._bootstrap_rng.sample(others, k=min(count, len(others)))
+            digests = [self.nodes[uid].own_digest() for uid in sample]
+            node.bootstrap_random_view(digests)
+
+    def warm_start(self, ideal: Optional[IdealNetworkIndex] = None) -> IdealNetworkIndex:
+        """Install the ideal personal networks directly (converged state).
+
+        The paper's query-processing experiments (Figures 3, 4, 6, 8, 11) are
+        run on personal networks that already converged through the lazy
+        mode.  Warm-starting from the offline ideal index reproduces that
+        starting state without paying the convergence time in every
+        experiment; the convergence itself is evaluated separately (Fig. 2).
+        """
+        if ideal is None:
+            ideal = IdealNetworkIndex(self.dataset, size=self.config.network_size)
+        for node in self.nodes.values():
+            for neighbour in ideal.network_of(node.node_id):
+                digest = self.nodes[neighbour.user_id].own_digest()
+                node.personal_network.consider(neighbour.user_id, neighbour.score, digest)
+            for stored_id in node.personal_network.profiles_wanted():
+                node.personal_network.store_profile(
+                    stored_id, self.nodes[stored_id].profile
+                )
+        return ideal
+
+    # ------------------------------------------------------------- lazy phase
+
+    def run_lazy(
+        self,
+        cycles: int,
+        callback: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Run ``cycles`` lazy cycles over every online node."""
+        self.engine.run_cycles(cycles, phase=PHASE_LAZY, callback=callback)
+
+    def discovered_networks(self) -> Dict[int, List[int]]:
+        """user_id -> personal-network member ids currently discovered."""
+        return {uid: node.personal_network.member_ids() for uid, node in self.nodes.items()}
+
+    # ------------------------------------------------------------ eager phase
+
+    def issue_queries(self, queries: Iterable[Query]) -> Dict[int, QuerySession]:
+        """Issue queries at their queriers and record the cycle-0 snapshots."""
+        sessions: Dict[int, QuerySession] = {}
+        for query in queries:
+            node = self.nodes[query.querier]
+            if not self.network.is_online(query.querier):
+                continue
+            session = node.issue_query(query)
+            session.close_cycle(0)
+            sessions[query.query_id] = session
+        return sessions
+
+    def eager_participants(self) -> List[int]:
+        """Online nodes that still have eager work to do this cycle."""
+        return [
+            uid
+            for uid in self.network.online_ids()
+            if self.nodes[uid].has_active_queries()
+        ]
+
+    def run_eager(
+        self,
+        cycles: int,
+        callback: Optional[Callable[[int, Dict[int, CycleSnapshot]], None]] = None,
+        stop_when_idle: bool = True,
+    ) -> int:
+        """Run up to ``cycles`` eager cycles.
+
+        After each cycle every querier merges the partial results received
+        during that cycle and records a snapshot.  ``callback`` receives the
+        1-based cycle number and the per-query snapshots.  Returns the number
+        of cycles actually run (processing stops early once no node has any
+        remaining list, unless ``stop_when_idle`` is False).
+        """
+        run = 0
+        for _ in range(cycles):
+            participants = self.eager_participants()
+            if stop_when_idle and not participants:
+                break
+            self.engine.run_cycle(phase=PHASE_EAGER, participants=participants)
+            self._eager_cycles_run += 1
+            run += 1
+            snapshots: Dict[int, CycleSnapshot] = {}
+            for node in self.nodes.values():
+                for session in node.sessions.values():
+                    snapshot = session.close_cycle(self._eager_cycles_run)
+                    snapshots[session.query.query_id] = snapshot
+            if callback is not None:
+                callback(self._eager_cycles_run, snapshots)
+        return run
+
+    def sessions(self) -> Dict[int, QuerySession]:
+        """Every query session in the system, keyed by query id."""
+        out: Dict[int, QuerySession] = {}
+        for node in self.nodes.values():
+            out.update(node.sessions)
+        return out
+
+    def users_reached(self, query_id: int) -> Set[int]:
+        """Users reached by the eager gossip of one query (Figure 8 metric).
+
+        Derived from the traffic records: every receiver of a forwarded
+        remaining list, plus the querier herself.
+        """
+        reached: Set[int] = set()
+        querier: Optional[int] = None
+        for session in self.sessions().values():
+            if session.query.query_id == query_id:
+                querier = session.query.querier
+        if querier is not None:
+            reached.add(querier)
+        for record in self.stats.records:
+            if record.query_id == query_id and record.kind == KIND_REMAINING_FORWARD:
+                reached.add(record.receiver)
+        return reached
+
+    # ---------------------------------------------------------------- dynamics
+
+    def apply_profile_changes(self, change_day: ChangeDay) -> Dict[int, int]:
+        """Apply a day of profile changes to the live profiles."""
+        return apply_change_day(self.dataset, change_day)
+
+    def depart_users(self, user_ids: Iterable[int]) -> None:
+        """Simultaneous departure of the given users (churn)."""
+        self.network.depart(user_ids)
+
+    def rejoin_users(self, user_ids: Iterable[int]) -> None:
+        self.network.rejoin(user_ids)
+
+    # ---------------------------------------------------------------- metrics
+
+    def personal_networks(self) -> Dict[int, PersonalNetwork]:
+        return {uid: node.personal_network for uid, node in self.nodes.items()}
+
+    def stored_replica_versions(self) -> Dict[int, Dict[int, int]]:
+        """owner -> (stored user -> replica version); freshness metric input."""
+        return {uid: node.stored_profile_versions() for uid, node in self.nodes.items()}
+
+    def current_profile_versions(self) -> Dict[int, int]:
+        """user_id -> current (true) profile version."""
+        return {uid: node.profile.version for uid, node in self.nodes.items()}

@@ -1,0 +1,166 @@
+"""Querier-side and forwarded query state.
+
+Two kinds of state exist during eager-mode processing:
+
+* the **query session** at the querier: the incremental NRA merger, the set
+  of profiles already accounted for, the per-cycle result snapshots and the
+  querier's own remaining list;
+* the **forwarded query state** at every other node reached by the query:
+  the query itself plus the remaining list that node is responsible for
+  (``L_Q(u)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.queries import Query
+from ..topk.incremental import IncrementalNRA
+
+
+@dataclass
+class PartialResult:
+    """A partial result list sent back to the querier by one node."""
+
+    query_id: int
+    sender: int
+    #: item -> partial relevance score (positive scores only).
+    scores: Dict[int, float]
+    #: Users whose profiles were used to build this list.
+    contributors: Tuple[int, ...]
+    #: Eager cycle during which the list was produced.
+    cycle: int
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+
+@dataclass
+class CycleSnapshot:
+    """Result state displayed to the querier at the end of one eager cycle."""
+
+    cycle: int
+    top_k: List[Tuple[int, float]]
+    profiles_used: int
+    profiles_total: int
+
+    @property
+    def items(self) -> List[int]:
+        return [item for item, _ in self.top_k]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the personal network already contributing.
+
+        This is the quality estimate the paper lets users consult to decide
+        whether the current results are satisfactory.
+        """
+        if self.profiles_total == 0:
+            return 1.0
+        return self.profiles_used / self.profiles_total
+
+
+class QuerySession:
+    """Everything the querier tracks about one of her queries."""
+
+    def __init__(self, query: Query, k: int, personal_network_ids: Sequence[int]) -> None:
+        self.query = query
+        self.k = k
+        #: Ids whose profiles must eventually contribute (the whole personal
+        #: network plus the querier herself).
+        self.expected_profiles: Set[int] = set(personal_network_ids) | {query.querier}
+        self.profiles_used: Set[int] = set()
+        self.remaining: List[int] = []
+        self._merger = IncrementalNRA(k)
+        self._pending: List[PartialResult] = []
+        self.snapshots: List[CycleSnapshot] = []
+        self.closed = False
+
+    # -- feeding --------------------------------------------------------------
+
+    def set_remaining(self, user_ids: Sequence[int]) -> None:
+        """Initialise the querier's own remaining list ``L_Q(u_i)``."""
+        self.remaining = list(user_ids)
+
+    def add_local_result(self, scores: Dict[int, float], contributors: Sequence[int], cycle: int = 0) -> None:
+        """Record the querier's local partial result (Algorithm 2, line 3)."""
+        self.receive_partial(
+            PartialResult(
+                query_id=self.query.query_id,
+                sender=self.query.querier,
+                scores=dict(scores),
+                contributors=tuple(contributors),
+                cycle=cycle,
+            )
+        )
+
+    def receive_partial(self, partial: PartialResult) -> None:
+        """Buffer a partial result until the end of the current cycle."""
+        self._pending.append(partial)
+
+    # -- per-cycle processing -------------------------------------------------
+
+    def close_cycle(self, cycle: int) -> CycleSnapshot:
+        """Merge the partial results received during ``cycle`` (Algorithm 4)."""
+        new_lists: List[Dict[int, float]] = []
+        for partial in self._pending:
+            new_contributors = set(partial.contributors) - self.profiles_used
+            if not new_contributors and partial.scores:
+                # Every contributor was already counted: using the list again
+                # would double count (the partitioning normally prevents
+                # this; the guard keeps the invariant under churn retries).
+                continue
+            self.profiles_used.update(partial.contributors)
+            if partial.scores:
+                new_lists.append(partial.scores)
+        self._pending.clear()
+        top_k = self._merger.process_cycle(new_lists)
+        if self.is_complete():
+            # Every neighbour's profile has contributed: the querier knows the
+            # processing is over and reads off the exact result (recall 1).
+            top_k = self._merger.finalize()
+        snapshot = CycleSnapshot(
+            cycle=cycle,
+            top_k=top_k,
+            profiles_used=len(self.profiles_used & self.expected_profiles),
+            profiles_total=len(self.expected_profiles),
+        )
+        self.snapshots.append(snapshot)
+        if self.is_complete():
+            self.closed = True
+        return snapshot
+
+    # -- results --------------------------------------------------------------
+
+    def current_items(self, exact: bool = False) -> List[int]:
+        """The current top-k item ids (``exact=True`` exhausts all lists)."""
+        if exact:
+            return [item for item, _ in self._merger.finalize()]
+        return self._merger.current_items()
+
+    def current_top_k(self) -> List[Tuple[int, float]]:
+        return self._merger.current_top_k()
+
+    def is_complete(self) -> bool:
+        """True when every expected profile has contributed."""
+        return self.expected_profiles <= self.profiles_used
+
+    @property
+    def coverage(self) -> float:
+        if not self.expected_profiles:
+            return 1.0
+        return len(self.profiles_used & self.expected_profiles) / len(self.expected_profiles)
+
+
+@dataclass
+class ForwardedQueryState:
+    """State a non-querier node keeps for a query it was reached by."""
+
+    query: Query
+    #: The remaining list this node is responsible for (``L_Q(u_dest)``).
+    remaining: List[int] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.remaining)

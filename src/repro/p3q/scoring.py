@@ -1,0 +1,68 @@
+"""Relevance scoring for personalized top-k queries.
+
+For a query ``Q = {u_i, t_1..t_n}``:
+
+* the score of an item ``i`` for one user ``u_j`` is the number of tags of
+  ``Q`` that ``u_j`` used to annotate ``i``:
+  ``Score_{u_j,Q}(i) = |{t_m ∈ Q | Tagged_{u_j}(i, t_m)}|``;
+* the overall relevance of ``i`` for the querier is the sum of that
+  per-user score over every neighbour of the querier's personal network;
+* a *partial* relevance score is the same sum restricted to the profiles a
+  given node stores and that should contribute to the query
+  (``GoodProfiles`` in the paper).
+
+Any monotonic aggregation could replace the sum without touching the rest of
+the protocol; the sum is what the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Sequence
+
+from ..data.models import UserProfile
+from ..data.queries import Query
+
+
+def item_score_for_user(profile: UserProfile, query: Query, item: int) -> int:
+    """``Score_{u_j,Q}(i)``: how many query tags this user put on the item."""
+    tags = profile.tags_for(item)
+    return sum(1 for tag in query.tags if tag in tags)
+
+
+def user_score_map(profile: UserProfile, query: Query) -> Dict[int, int]:
+    """All items of ``profile`` with a positive score for ``query``."""
+    query_tags = set(query.tags)
+    scores: Dict[int, int] = defaultdict(int)
+    for item, tag in profile:
+        if tag in query_tags:
+            scores[item] += 1
+    return dict(scores)
+
+
+def partial_scores(profiles: Iterable[UserProfile], query: Query) -> Dict[int, float]:
+    """Partial relevance scores summed over a set of profiles.
+
+    This is what one node contributes to the collaborative computation: the
+    sum of per-user scores over its ``GoodProfiles`` set, keeping only items
+    with a positive partial score.
+    """
+    totals: Dict[int, float] = defaultdict(float)
+    for profile in profiles:
+        for item, score in user_score_map(profile, query).items():
+            totals[item] += score
+    return {item: score for item, score in totals.items() if score > 0}
+
+
+def relevance_scores(
+    profiles_by_user: Mapping[int, UserProfile],
+    query: Query,
+) -> Dict[int, float]:
+    """Full relevance scores ``Score(Q, i)`` over a set of neighbour profiles."""
+    return partial_scores(profiles_by_user.values(), query)
+
+
+def ranked_items(scores: Mapping[int, float], k: int) -> Sequence[int]:
+    """Top-``k`` item ids by score with deterministic tie-breaking."""
+    ordered = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+    return [item for item, _ in ordered[:k]]

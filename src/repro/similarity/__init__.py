@@ -1,0 +1,29 @@
+"""Profile similarity metrics and exact (offline) nearest-neighbour indexes."""
+
+from .metrics import (
+    SIMILARITY_METRICS,
+    SimilarityFunction,
+    common_actions,
+    cosine_score,
+    get_metric,
+    item_overlap_score,
+    jaccard_score,
+    overlap_score,
+    overlap_score_from_actions,
+)
+from .knn import IdealNetworkIndex, Neighbour, pairwise_overlap_counts
+
+__all__ = [
+    "SIMILARITY_METRICS",
+    "IdealNetworkIndex",
+    "Neighbour",
+    "SimilarityFunction",
+    "common_actions",
+    "cosine_score",
+    "get_metric",
+    "item_overlap_score",
+    "jaccard_score",
+    "overlap_score",
+    "overlap_score_from_actions",
+    "pairwise_overlap_counts",
+]

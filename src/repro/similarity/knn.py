@@ -1,0 +1,147 @@
+"""Exact (offline) k-nearest-neighbour computation over tagging profiles.
+
+The paper's convergence metric (Fig. 2, Fig. 10) compares the personal
+network a node has discovered through gossip with the *ideal* personal
+network computed offline "using the global information about all users'
+profiles".  This module computes that ideal network.
+
+A brute-force all-pairs intersection is O(|U|^2) profile intersections; to
+keep paper-like scales reachable, the computation goes through an inverted
+index from tagging action to users, so only user pairs that actually share
+at least one action are ever scored (the score of every other pair is zero
+and never qualifies as a positive-score neighbour).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..data.models import Dataset, TaggingAction
+from .metrics import SimilarityFunction, overlap_score
+
+
+@dataclass(frozen=True)
+class Neighbour:
+    """A scored neighbour in an (ideal or discovered) personal network."""
+
+    user_id: int
+    score: float
+
+    def __lt__(self, other: "Neighbour") -> bool:  # deterministic ordering
+        return (self.score, -self.user_id) < (other.score, -other.user_id)
+
+
+def pairwise_overlap_counts(dataset: Dataset) -> Dict[Tuple[int, int], int]:
+    """Number of common tagging actions for every user pair that shares any.
+
+    Keys are ``(min_id, max_id)`` pairs.  Pairs with zero common actions are
+    absent.
+    """
+    action_to_users: Dict[TaggingAction, List[int]] = defaultdict(list)
+    for profile in dataset.profiles():
+        for action in profile:
+            action_to_users[action].append(profile.user_id)
+    counts: Dict[Tuple[int, int], int] = defaultdict(int)
+    for users in action_to_users.values():
+        if len(users) < 2:
+            continue
+        users.sort()
+        for i, ua in enumerate(users):
+            for ub in users[i + 1:]:
+                counts[(ua, ub)] += 1
+    return dict(counts)
+
+
+class IdealNetworkIndex:
+    """Offline computation of every user's ideal personal network.
+
+    ``size`` is the paper's parameter ``s``: the personal network keeps the
+    ``s`` users with the highest *positive* similarity score.  Users with a
+    zero score never qualify, so an ideal network can legitimately hold fewer
+    than ``s`` neighbours.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        size: int,
+        metric: SimilarityFunction = overlap_score,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("personal network size must be positive")
+        self.dataset = dataset
+        self.size = size
+        self.metric = metric
+        self._networks: Dict[int, List[Neighbour]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        if self.metric is overlap_score:
+            self._build_from_inverted_index()
+        else:
+            self._build_brute_force()
+
+    def _build_from_inverted_index(self) -> None:
+        counts = pairwise_overlap_counts(self.dataset)
+        per_user: Dict[int, List[Neighbour]] = defaultdict(list)
+        for (ua, ub), count in counts.items():
+            per_user[ua].append(Neighbour(ub, float(count)))
+            per_user[ub].append(Neighbour(ua, float(count)))
+        for user_id in self.dataset.user_ids:
+            neighbours = per_user.get(user_id, [])
+            neighbours.sort(key=lambda n: (-n.score, n.user_id))
+            self._networks[user_id] = neighbours[: self.size]
+
+    def _build_brute_force(self) -> None:
+        user_ids = self.dataset.user_ids
+        for user_id in user_ids:
+            profile = self.dataset.profile(user_id)
+            scored = [
+                Neighbour(other, self.metric(profile, self.dataset.profile(other)))
+                for other in user_ids
+                if other != user_id
+            ]
+            scored = [n for n in scored if n.score > 0]
+            scored.sort(key=lambda n: (-n.score, n.user_id))
+            self._networks[user_id] = scored[: self.size]
+
+    # -- queries --------------------------------------------------------------
+
+    def network_of(self, user_id: int) -> List[Neighbour]:
+        """The ideal personal network of a user (descending score)."""
+        return list(self._networks[user_id])
+
+    def neighbour_ids(self, user_id: int) -> List[int]:
+        return [n.user_id for n in self._networks[user_id]]
+
+    def top_c_ids(self, user_id: int, c: int) -> List[int]:
+        """The ``c`` highest-scored ideal neighbours (stored-profile set)."""
+        return [n.user_id for n in self._networks[user_id][:c]]
+
+    def score(self, user_id: int, other: int) -> float:
+        for neighbour in self._networks[user_id]:
+            if neighbour.user_id == other:
+                return neighbour.score
+        return 0.0
+
+    def success_ratio(self, user_id: int, discovered_ids: Sequence[int]) -> float:
+        """Fraction of the ideal network present in ``discovered_ids``.
+
+        This is the paper's per-user convergence metric.  A user with an
+        empty ideal network (no positive-score peer) trivially has ratio 1.
+        """
+        ideal = set(self.neighbour_ids(user_id))
+        if not ideal:
+            return 1.0
+        discovered = set(discovered_ids)
+        return len(ideal & discovered) / len(ideal)
+
+    def average_success_ratio(self, discovered: Dict[int, Sequence[int]]) -> float:
+        """Average success ratio over all users in the dataset (Fig. 2)."""
+        ratios = [
+            self.success_ratio(user_id, discovered.get(user_id, ()))
+            for user_id in self.dataset.user_ids
+        ]
+        return sum(ratios) / len(ratios) if ratios else 1.0

@@ -1,0 +1,95 @@
+"""Similarity metrics between tagging profiles.
+
+The paper's score between two users is the number of common tagging actions:
+
+    Score_{u_i}(u_j) = |Profile(u_i) ∩ Profile(u_j)|
+                     = |{(i, t) | Tagged_{u_i}(i, t) ∧ Tagged_{u_j}(i, t)}|
+
+The score takes both topic (tag) and object (item) preferences into account.
+P3Q itself is independent of the metric ("this distance is
+application-specific"), so the module also provides Jaccard and cosine
+variants that plug into the same protocol machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Protocol, Set
+
+from ..data.models import TaggingAction, UserProfile
+
+#: A similarity function maps two profiles to a non-negative number where
+#: larger means more similar.
+SimilarityFunction = Callable[[UserProfile, UserProfile], float]
+
+
+def common_actions(a: UserProfile, b: UserProfile) -> Set[TaggingAction]:
+    """The intersection of two profiles' tagging-action sets."""
+    actions_a = a.actions
+    actions_b = b.actions
+    if len(actions_a) > len(actions_b):
+        actions_a, actions_b = actions_b, actions_a
+    return {action for action in actions_a if action in actions_b}
+
+
+def overlap_score(a: UserProfile, b: UserProfile) -> float:
+    """The paper's metric: number of common tagging actions."""
+    return float(len(common_actions(a, b)))
+
+
+def overlap_score_from_actions(
+    local_actions: FrozenSet[TaggingAction] | Set[TaggingAction],
+    remote_actions: FrozenSet[TaggingAction] | Set[TaggingAction],
+) -> float:
+    """Overlap computed from raw action sets.
+
+    This is the form used during the lazy 3-step exchange where the remote
+    side only sent the tagging actions for the *common items*; intersecting
+    with the local actions yields exactly the same score as intersecting full
+    profiles would.
+    """
+    if len(local_actions) > len(remote_actions):
+        local_actions, remote_actions = remote_actions, local_actions
+    return float(sum(1 for action in local_actions if action in remote_actions))
+
+
+def jaccard_score(a: UserProfile, b: UserProfile) -> float:
+    """|A ∩ B| / |A ∪ B| over tagging actions (alternative metric)."""
+    inter = len(common_actions(a, b))
+    union = len(a) + len(b) - inter
+    return inter / union if union else 0.0
+
+
+def cosine_score(a: UserProfile, b: UserProfile) -> float:
+    """Cosine similarity over binary tagging-action vectors."""
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    inter = len(common_actions(a, b))
+    return inter / math.sqrt(len(a) * len(b))
+
+
+def item_overlap_score(a: UserProfile, b: UserProfile) -> float:
+    """Number of common *items* (the digest-level approximation)."""
+    items_a = a.items
+    items_b = b.items
+    if len(items_a) > len(items_b):
+        items_a, items_b = items_b, items_a
+    return float(sum(1 for item in items_a if item in items_b))
+
+
+#: Registry of named metrics so experiments/configs can select one by name.
+SIMILARITY_METRICS: Dict[str, SimilarityFunction] = {
+    "overlap": overlap_score,
+    "jaccard": jaccard_score,
+    "cosine": cosine_score,
+    "item_overlap": item_overlap_score,
+}
+
+
+def get_metric(name: str) -> SimilarityFunction:
+    """Look a metric up by name, raising a helpful error for typos."""
+    try:
+        return SIMILARITY_METRICS[name]
+    except KeyError:
+        known = ", ".join(sorted(SIMILARITY_METRICS))
+        raise KeyError(f"unknown similarity metric {name!r}; known metrics: {known}") from None

@@ -1,0 +1,43 @@
+"""Cycle-driven peer-to-peer simulator (PeerSim-equivalent substrate)."""
+
+from .engine import (
+    PHASE_EAGER,
+    PHASE_LAZY,
+    ScheduledEvent,
+    SimulationEngine,
+)
+from .network import Network, NodeOfflineError, UnknownNodeError
+from .node import Node
+from .rng import SeededRngFactory
+from .stats import (
+    KIND_COMMON_ITEMS,
+    KIND_DIGESTS,
+    KIND_FULL_PROFILES,
+    KIND_PARTIAL_RESULT,
+    KIND_RANDOM_VIEW,
+    KIND_REMAINING_FORWARD,
+    KIND_REMAINING_RETURN,
+    StatsCollector,
+    TrafficRecord,
+)
+
+__all__ = [
+    "KIND_COMMON_ITEMS",
+    "KIND_DIGESTS",
+    "KIND_FULL_PROFILES",
+    "KIND_PARTIAL_RESULT",
+    "KIND_RANDOM_VIEW",
+    "KIND_REMAINING_FORWARD",
+    "KIND_REMAINING_RETURN",
+    "Network",
+    "Node",
+    "NodeOfflineError",
+    "PHASE_EAGER",
+    "PHASE_LAZY",
+    "ScheduledEvent",
+    "SeededRngFactory",
+    "SimulationEngine",
+    "StatsCollector",
+    "TrafficRecord",
+    "UnknownNodeError",
+]

@@ -1,0 +1,142 @@
+"""Simulated network: node registry, reachability, churn, traffic accounting.
+
+The simulation follows PeerSim's cycle-driven model: nodes interact through
+direct (synchronous) exchanges within a cycle, there is no message loss and
+no latency below the cycle granularity.  What the network does provide is:
+
+* a registry of nodes with an online/offline flag (churn);
+* the guard that an exchange with an offline peer fails, so protocols must
+  handle unavailable neighbours;
+* byte-level accounting of every transmission through the attached
+  :class:`~repro.simulator.stats.StatsCollector`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .node import Node
+from .stats import StatsCollector
+
+
+class UnknownNodeError(KeyError):
+    """Raised when addressing a node id that was never registered."""
+
+
+class NodeOfflineError(RuntimeError):
+    """Raised when an exchange is attempted with an offline node."""
+
+
+class Network:
+    """Registry of simulated nodes plus churn state and traffic accounting."""
+
+    def __init__(self, stats: Optional[StatsCollector] = None) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._online: Dict[int, bool] = {}
+        self.stats = stats or StatsCollector()
+        #: The engine keeps this up to date so that nodes can attribute
+        #: traffic to the cycle in which it happened.
+        self.current_cycle = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def add_node(self, node: Node, online: bool = True) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node id {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+        self._online[node.node_id] = online
+        node.attach(self)
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def require_online(self, node_id: int) -> Node:
+        """The node, raising :class:`NodeOfflineError` if it has departed."""
+        node = self.node(node_id)
+        if not self._online[node_id]:
+            raise NodeOfflineError(f"node {node_id} is offline")
+        return node
+
+    def try_contact(self, node_id: int) -> Optional[Node]:
+        """The node if it exists and is online, else ``None``.
+
+        This is the call protocols use for best-effort exchanges: an offline
+        gossip partner is simply skipped, as in the paper's churn evaluation.
+        """
+        if node_id not in self._nodes:
+            return None
+        if not self._online[node_id]:
+            return None
+        return self._nodes[node_id]
+
+    def is_online(self, node_id: int) -> bool:
+        return self._online.get(node_id, False)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def online_ids(self) -> List[int]:
+        return sorted(nid for nid, online in self._online.items() if online)
+
+    def nodes(self) -> Iterator[Node]:
+        for node_id in self.node_ids():
+            yield self._nodes[node_id]
+
+    def online_nodes(self) -> Iterator[Node]:
+        for node_id in self.online_ids():
+            yield self._nodes[node_id]
+
+    # -- churn ----------------------------------------------------------------
+
+    def depart(self, node_ids: Iterable[int]) -> None:
+        """Take the given nodes offline (simultaneous massive departure)."""
+        for node_id in node_ids:
+            if node_id not in self._nodes:
+                raise UnknownNodeError(node_id)
+            if self._online[node_id]:
+                self._online[node_id] = False
+                self._nodes[node_id].on_departure()
+
+    def rejoin(self, node_ids: Iterable[int]) -> None:
+        """Bring previously departed nodes back online."""
+        for node_id in node_ids:
+            if node_id not in self._nodes:
+                raise UnknownNodeError(node_id)
+            if not self._online[node_id]:
+                self._online[node_id] = True
+                self._nodes[node_id].on_join()
+
+    # -- traffic accounting ---------------------------------------------------
+
+    def account(
+        self,
+        sender: int,
+        receiver: int,
+        kind: str,
+        size_bytes: int,
+        query_id: Optional[int] = None,
+    ) -> None:
+        """Record a transmission of ``size_bytes`` from sender to receiver."""
+        self.stats.record(
+            cycle=self.current_cycle,
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            size_bytes=size_bytes,
+            query_id=query_id,
+        )

@@ -1,0 +1,56 @@
+"""Base class for simulated nodes.
+
+A node is the simulation-side stand-in for "the user and her underlying
+machine".  Concrete protocols (peer sampling, lazy gossip, P3Q) subclass
+:class:`Node` and implement :meth:`Node.on_cycle`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .network import Network
+
+
+class Node:
+    """A participant in the cycle-driven simulation."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._network: Optional["Network"] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by the network when the node is registered."""
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        return self._network
+
+    @property
+    def online(self) -> bool:
+        return self._network is not None and self._network.is_online(self.node_id)
+
+    # -- protocol hooks -------------------------------------------------------
+
+    def on_cycle(self, cycle: int, phase: str) -> None:
+        """Execute one protocol cycle.
+
+        ``phase`` distinguishes logical sub-protocols running at different
+        frequencies (P3Q uses ``"lazy"`` and ``"eager"``).  The default
+        implementation does nothing.
+        """
+
+    def on_departure(self) -> None:
+        """Hook invoked when the node leaves the system (churn)."""
+
+    def on_join(self) -> None:
+        """Hook invoked when the node (re)joins the system."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(node_id={self.node_id})"

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use very small datasets and Bloom filters so the full
+suite runs in seconds; the experiment-scale behaviour is exercised by the
+benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.models import Dataset, UserProfile
+from repro.data.queries import Query, QueryWorkloadGenerator
+from repro.data.synthetic import SyntheticConfig, generate_dataset
+from repro.p3q.config import P3QConfig
+from repro.p3q.protocol import P3QSimulation
+from repro.similarity.knn import IdealNetworkIndex
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """A handcrafted 5-user dataset with known overlaps.
+
+    Users 0, 1, 2 form a community around items 1-4; users 3 and 4 share a
+    separate community around items 10-12; user 4 also touches item 1 so the
+    two groups are weakly connected.
+    """
+    actions = {
+        0: [(1, 100), (2, 100), (3, 101), (4, 102)],
+        1: [(1, 100), (2, 100), (3, 101), (5, 103)],
+        2: [(1, 100), (2, 105), (4, 102), (6, 104)],
+        3: [(10, 200), (11, 201), (12, 202)],
+        4: [(10, 200), (11, 201), (1, 100)],
+    }
+    return Dataset.from_actions(actions)
+
+
+@pytest.fixture(scope="session")
+def synthetic_dataset() -> Dataset:
+    """A seeded synthetic dataset, small but structurally realistic."""
+    config = SyntheticConfig(
+        num_users=60,
+        num_items=400,
+        num_tags=120,
+        num_communities=6,
+        mean_actions_per_user=30,
+        seed=7,
+    )
+    return generate_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def synthetic_ideal(synthetic_dataset) -> IdealNetworkIndex:
+    return IdealNetworkIndex(synthetic_dataset, size=20)
+
+
+@pytest.fixture()
+def small_config() -> P3QConfig:
+    return P3QConfig(
+        network_size=20,
+        storage=5,
+        random_view_size=5,
+        k=10,
+        alpha=0.5,
+        digest_bits=2_048,
+        digest_hashes=5,
+        seed=3,
+    )
+
+
+@pytest.fixture()
+def warm_simulation(synthetic_dataset, small_config) -> P3QSimulation:
+    """A warm-started simulation over the synthetic dataset."""
+    simulation = P3QSimulation(synthetic_dataset.copy(), small_config)
+    simulation.warm_start()
+    simulation.bootstrap_random_views()
+    return simulation
+
+
+@pytest.fixture()
+def query_workload(synthetic_dataset) -> list[Query]:
+    generator = QueryWorkloadGenerator(synthetic_dataset, seed=5)
+    return generator.generate(synthetic_dataset.user_ids[:10])

@@ -1,0 +1,107 @@
+"""Tests for the centralized reference and the strawman strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CentralizedTopK,
+    OnDemandPollingStrategy,
+    StoreEverythingStrategy,
+    inverted_list_storage_estimate,
+)
+from repro.data.queries import QueryWorkloadGenerator
+from repro.p3q.scoring import partial_scores
+from repro.similarity.knn import IdealNetworkIndex
+
+
+@pytest.fixture(scope="module")
+def central(synthetic_dataset):
+    return CentralizedTopK(synthetic_dataset, network_size=20)
+
+
+@pytest.fixture(scope="module")
+def queries(synthetic_dataset):
+    return QueryWorkloadGenerator(synthetic_dataset, seed=5).generate(
+        synthetic_dataset.user_ids[:8]
+    )
+
+
+class TestCentralized:
+    def test_scores_include_querier_and_neighbours(self, central, synthetic_dataset, queries):
+        query = queries[0]
+        scores = central.relevance_scores(query)
+        profiles = [
+            synthetic_dataset.profile(uid)
+            for uid in central.personal_network_of(query.querier)
+        ] + [synthetic_dataset.profile(query.querier)]
+        assert scores == partial_scores(profiles, query)
+
+    def test_top_k_sorted_by_score(self, central, queries):
+        top = central.top_k(queries[0], k=10)
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_source_item_is_usually_highly_ranked(self, central, queries):
+        """The query was generated from an item of the querier's own profile,
+        so that item has a positive score and should appear in the results of
+        most queries (the paper's workload-generation rationale)."""
+        hits = 0
+        for query in queries:
+            items = central.top_k_items(query, k=10)
+            if query.source_item in items:
+                hits += 1
+        assert hits >= len(queries) // 2
+
+    def test_relevant_items_keyed_by_query_id(self, central, queries):
+        references = central.relevant_items(queries, k=5)
+        assert set(references) == {query.query_id for query in queries}
+        assert all(len(items) <= 5 for items in references.values())
+
+    def test_reuses_provided_ideal_index(self, synthetic_dataset, synthetic_ideal):
+        central = CentralizedTopK(synthetic_dataset, network_size=20, ideal=synthetic_ideal)
+        assert central.ideal is synthetic_ideal
+
+    def test_inverted_list_estimate_positive(self, synthetic_dataset, synthetic_ideal):
+        estimate = inverted_list_storage_estimate(synthetic_dataset, synthetic_ideal)
+        assert estimate["inverted_lists"] > 0
+        assert estimate["entries"] >= estimate["inverted_lists"]
+
+
+class TestStrategies:
+    def test_store_everything_matches_centralized(self, synthetic_dataset, synthetic_ideal, central, queries):
+        strategy = StoreEverythingStrategy(synthetic_dataset, synthetic_ideal)
+        for query in queries[:4]:
+            assert strategy.top_k(query, k=10) == central.top_k(query, k=10)
+
+    def test_store_everything_cost_is_storage_heavy(self, synthetic_dataset, synthetic_ideal, queries):
+        strategy = StoreEverythingStrategy(synthetic_dataset, synthetic_ideal)
+        cost = strategy.cost(queries[0])
+        assert cost.storage_bytes > 0
+        assert cost.query_bytes == 0
+        assert cost.availability == 1.0
+
+    def test_polling_with_everyone_online_matches_centralized(
+        self, synthetic_dataset, synthetic_ideal, central, queries
+    ):
+        strategy = OnDemandPollingStrategy(synthetic_dataset, synthetic_ideal)
+        for query in queries[:4]:
+            assert strategy.top_k(query, k=10) == central.top_k(query, k=10)
+
+    def test_polling_cost_is_query_heavy(self, synthetic_dataset, synthetic_ideal, queries):
+        strategy = OnDemandPollingStrategy(synthetic_dataset, synthetic_ideal)
+        cost = strategy.cost(queries[0])
+        assert cost.storage_bytes == 0
+        assert cost.query_bytes > 0
+        assert cost.round_trips == len(synthetic_ideal.neighbour_ids(queries[0].querier))
+
+    def test_polling_loses_offline_contributions(
+        self, synthetic_dataset, synthetic_ideal, queries
+    ):
+        query = queries[0]
+        neighbours = synthetic_ideal.neighbour_ids(query.querier)
+        offline = set(neighbours[: len(neighbours) // 2])
+        degraded = OnDemandPollingStrategy(synthetic_dataset, synthetic_ideal, offline=offline)
+        cost = degraded.cost(query)
+        assert cost.availability < 1.0
+        assert set(degraded.available_neighbours(query)).isdisjoint(offline)

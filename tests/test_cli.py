@@ -1,0 +1,52 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_every_experiment_has_a_description(self):
+        for name, (description, needs_workload, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+            assert isinstance(needs_workload, bool)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.scale == "small"
+        assert args.experiments == ["fig2"]
+        assert args.output is None
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-an-experiment"])
+
+    def test_no_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExecution:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_runs_analysis_experiment(self, capsys):
+        assert main(["analysis", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "R(alpha)" in out
+
+    def test_runs_table1_and_writes_output(self, tmp_path, capsys):
+        assert main(["table1", "--scale", "tiny", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert "lambda=1" in (tmp_path / "table1.txt").read_text()
+
+    def test_runs_workload_experiment_at_tiny_scale(self, capsys):
+        assert main(["fig4", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out

@@ -1,0 +1,131 @@
+"""Tests for the external-trace importer."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.data.importers import (
+    ImportResult,
+    TraceImportError,
+    import_tagging_trace,
+    iter_tagging_rows,
+)
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """A small delicious-style TSV trace: user, item (url), tag."""
+    lines = []
+    # Three users sharing items, one loner; item 'rare' only used by one user.
+    for user in ("alice", "bob", "carol"):
+        lines.append(f"{user}\thttp://python.org\tpython")
+        lines.append(f"{user}\thttp://python.org\tprogramming")
+        lines.append(f"{user}\thttp://numpy.org\tnumerics")
+    lines.append("dave\thttp://rare.example\tobscure")
+    lines.append("dave\thttp://python.org\tpython")
+    path = tmp_path / "trace.tsv"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestRowIteration:
+    def test_yields_all_rows(self, trace_file):
+        rows = list(iter_tagging_rows(trace_file))
+        assert len(rows) == 11
+        assert rows[0] == ("alice", "http://python.org", "python")
+
+    def test_skip_header(self, tmp_path):
+        path = tmp_path / "with_header.tsv"
+        path.write_text("user\titem\ttag\nalice\tx\ty\n")
+        rows = list(iter_tagging_rows(path, skip_header=True))
+        assert rows == [("alice", "x", "y")]
+
+    def test_custom_columns_and_delimiter(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("2020-01-01,alice,python,http://python.org\n")
+        rows = list(
+            iter_tagging_rows(path, delimiter=",", user_column=1, item_column=3, tag_column=2)
+        )
+        assert rows == [("alice", "http://python.org", "python")]
+
+    def test_short_row_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("alice\tonly-two-columns\n")
+        with pytest.raises(TraceImportError):
+            list(iter_tagging_rows(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.tsv"
+        path.write_text("alice\tx\ty\n\n\nbob\tx\ty\n")
+        assert len(list(iter_tagging_rows(path))) == 2
+
+    def test_gzip_input(self, tmp_path):
+        path = tmp_path / "trace.tsv.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("alice\tx\ty\n")
+        assert list(iter_tagging_rows(path)) == [("alice", "x", "y")]
+
+
+class TestImport:
+    def test_import_without_cleaning(self, trace_file):
+        result = import_tagging_trace(
+            trace_file, min_users_per_item=1, min_users_per_tag=1
+        )
+        assert isinstance(result, ImportResult)
+        assert len(result.dataset) == 4
+        assert result.num_actions == 11
+        assert set(result.user_ids) == {"alice", "bob", "carol", "dave"}
+
+    def test_duplicate_actions_collapse(self, tmp_path):
+        path = tmp_path / "dup.tsv"
+        path.write_text("alice\tx\ty\nalice\tx\ty\n")
+        result = import_tagging_trace(path, min_users_per_item=1, min_users_per_tag=1)
+        assert result.num_actions == 1
+
+    def test_cleaning_drops_rare_items_and_tags(self, trace_file):
+        result = import_tagging_trace(
+            trace_file, min_users_per_item=3, min_users_per_tag=3
+        )
+        dataset = result.dataset
+        rare_item = result.item_ids["http://rare.example"]
+        python_item = result.item_ids["http://python.org"]
+        assert rare_item not in dataset.items()
+        assert python_item in dataset.items()
+
+    def test_user_sampling_is_deterministic(self, trace_file):
+        a = import_tagging_trace(
+            trace_file, min_users_per_item=1, min_users_per_tag=1, sample_users=2, seed=3
+        )
+        b = import_tagging_trace(
+            trace_file, min_users_per_item=1, min_users_per_tag=1, sample_users=2, seed=3
+        )
+        assert a.dataset.user_ids == b.dataset.user_ids
+        assert len(a.dataset) == 2
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("\n")
+        with pytest.raises(TraceImportError):
+            import_tagging_trace(path)
+
+    def test_imported_dataset_runs_through_p3q(self, trace_file):
+        """End-to-end: an imported trace can drive a small P3Q simulation."""
+        from repro.data.queries import QueryWorkloadGenerator
+        from repro.p3q import P3QConfig, P3QSimulation
+
+        result = import_tagging_trace(
+            trace_file, min_users_per_item=1, min_users_per_tag=1
+        )
+        config = P3QConfig(
+            network_size=3, storage=1, random_view_size=2,
+            digest_bits=512, digest_hashes=3, seed=1,
+        )
+        simulation = P3QSimulation(result.dataset, config)
+        simulation.warm_start()
+        alice = result.user_ids["alice"]
+        query = QueryWorkloadGenerator(result.dataset, seed=1).query_for(alice)
+        sessions = simulation.issue_queries([query])
+        simulation.run_eager(cycles=10)
+        assert sessions[query.query_id].snapshots[-1].items

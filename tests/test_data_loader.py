@@ -1,0 +1,70 @@
+"""Tests for dataset persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data.loader import DatasetFormatError, load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "trace.json"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.user_ids == tiny_dataset.user_ids
+        for uid in tiny_dataset.user_ids:
+            assert loaded.profile(uid).actions == tiny_dataset.profile(uid).actions
+
+    def test_gzip_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "trace.json.gz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.user_ids == tiny_dataset.user_ids
+
+    def test_synthetic_round_trip(self, synthetic_dataset, tmp_path):
+        path = tmp_path / "synthetic.json"
+        save_dataset(synthetic_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.stats().as_dict() == synthetic_dataset.stats().as_dict()
+
+    def test_creates_parent_directories(self, tiny_dataset, tmp_path):
+        path = tmp_path / "nested" / "dir" / "trace.json"
+        save_dataset(tiny_dataset, path)
+        assert path.exists()
+
+
+class TestValidation:
+    def test_rejects_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1, "users": {}}))
+        with pytest.raises(DatasetFormatError):
+            load_dataset(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro-tagging-trace", "version": 99, "users": {}}))
+        with pytest.raises(DatasetFormatError):
+            load_dataset(path)
+
+    def test_rejects_malformed_users_section(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro-tagging-trace", "version": 1, "users": []}))
+        with pytest.raises(DatasetFormatError):
+            load_dataset(path)
+
+    def test_rejects_non_integer_user_id(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = {"format": "repro-tagging-trace", "version": 1, "users": {"abc": [[1, 2]]}}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatasetFormatError):
+            load_dataset(path)
+
+    def test_rejects_malformed_action(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = {"format": "repro-tagging-trace", "version": 1, "users": {"0": [[1, 2, 3]]}}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatasetFormatError):
+            load_dataset(path)

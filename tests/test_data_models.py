@@ -1,0 +1,150 @@
+"""Unit tests for the tagging data model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.models import ChangeDay, Dataset, ProfileChange, UserProfile
+
+
+class TestUserProfile:
+    def test_add_returns_true_for_new_action(self):
+        profile = UserProfile(1)
+        assert profile.add(10, 20) is True
+
+    def test_add_returns_false_for_duplicate(self):
+        profile = UserProfile(1, [(10, 20)])
+        assert profile.add(10, 20) is False
+
+    def test_version_increments_only_on_new_actions(self):
+        profile = UserProfile(1)
+        assert profile.version == 0
+        profile.add(1, 2)
+        assert profile.version == 1
+        profile.add(1, 2)
+        assert profile.version == 1
+        profile.add(1, 3)
+        assert profile.version == 2
+
+    def test_items_and_tags_for(self):
+        profile = UserProfile(1, [(1, 10), (1, 11), (2, 10)])
+        assert profile.items == frozenset({1, 2})
+        assert profile.tags_for(1) == frozenset({10, 11})
+        assert profile.tags_for(99) == frozenset()
+
+    def test_actions_for_items_restricts_to_requested_items(self):
+        profile = UserProfile(1, [(1, 10), (2, 11), (3, 12)])
+        assert profile.actions_for_items({1, 3}) == {(1, 10), (3, 12)}
+
+    def test_len_and_contains(self):
+        profile = UserProfile(1, [(1, 10), (2, 11)])
+        assert len(profile) == 2
+        assert (1, 10) in profile
+        assert (9, 9) not in profile
+
+    def test_copy_is_independent(self):
+        profile = UserProfile(1, [(1, 10)])
+        clone = profile.copy()
+        assert clone == profile
+        assert clone.version == profile.version
+        profile.add(2, 20)
+        assert (2, 20) not in clone
+        assert clone.version != profile.version
+
+    def test_add_all_counts_new_actions_only(self):
+        profile = UserProfile(1, [(1, 10)])
+        added = profile.add_all([(1, 10), (2, 20), (3, 30)])
+        assert added == 2
+
+    def test_equality_requires_same_user_and_actions(self):
+        a = UserProfile(1, [(1, 10)])
+        b = UserProfile(1, [(1, 10)])
+        c = UserProfile(2, [(1, 10)])
+        assert a == b
+        assert a != c
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)),
+            max_size=60,
+        )
+    )
+    def test_profile_length_equals_distinct_actions(self, actions):
+        profile = UserProfile(0, actions)
+        assert len(profile) == len(set(actions))
+        assert profile.version == len(set(actions))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            max_size=40,
+        )
+    )
+    def test_items_match_actions(self, actions):
+        profile = UserProfile(0, actions)
+        assert profile.items == {item for item, _ in set(actions)}
+
+
+class TestDataset:
+    def test_from_actions_builds_profiles(self, tiny_dataset):
+        assert len(tiny_dataset) == 5
+        assert tiny_dataset.profile(0).items == frozenset({1, 2, 3, 4})
+
+    def test_user_ids_sorted(self, tiny_dataset):
+        assert tiny_dataset.user_ids == [0, 1, 2, 3, 4]
+
+    def test_items_and_tags_union(self, tiny_dataset):
+        assert 1 in tiny_dataset.items()
+        assert 200 in tiny_dataset.tags()
+
+    def test_item_popularity_counts_distinct_users(self, tiny_dataset):
+        popularity = tiny_dataset.item_popularity()
+        assert popularity[1] == 4  # users 0, 1, 2, 4
+        assert popularity[12] == 1
+
+    def test_stats(self, tiny_dataset):
+        stats = tiny_dataset.stats()
+        assert stats.num_users == 5
+        assert stats.num_actions == sum(len(p) for p in tiny_dataset.profiles())
+        assert stats.max_profile_length >= stats.mean_profile_length
+
+    def test_filter_rare_drops_unpopular_items(self, tiny_dataset):
+        filtered = tiny_dataset.filter_rare(min_item_users=3, min_tag_users=1)
+        remaining_items = filtered.items()
+        assert 1 in remaining_items          # tagged by 4 users
+        assert 12 not in remaining_items     # tagged by 1 user
+
+    def test_filter_rare_keeps_user_count(self, tiny_dataset):
+        filtered = tiny_dataset.filter_rare(min_item_users=3, min_tag_users=3)
+        assert len(filtered) == len(tiny_dataset)
+
+    def test_sample_users(self, tiny_dataset):
+        sampled = tiny_dataset.sample_users([0, 3])
+        assert sampled.user_ids == [0, 3]
+
+    def test_copy_is_deep(self, tiny_dataset):
+        clone = tiny_dataset.copy()
+        clone.profile(0).add(999, 999)
+        assert (999, 999) not in tiny_dataset.profile(0)
+
+    def test_contains(self, tiny_dataset):
+        assert 0 in tiny_dataset
+        assert 99 not in tiny_dataset
+
+
+class TestChangeStructures:
+    def test_profile_change_length(self):
+        change = ProfileChange(user_id=1, new_actions=((1, 2), (3, 4)))
+        assert len(change) == 2
+
+    def test_change_day_changed_users(self):
+        day = ChangeDay(
+            day=0,
+            changes=(
+                ProfileChange(user_id=1, new_actions=((1, 2),)),
+                ProfileChange(user_id=4, new_actions=((5, 6),)),
+            ),
+        )
+        assert day.changed_users == frozenset({1, 4})
+        assert len(day) == 2

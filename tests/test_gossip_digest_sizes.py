@@ -1,0 +1,110 @@
+"""Tests for profile digests and the wire-size model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.models import UserProfile
+from repro.gossip import (
+    DIGEST_BYTES,
+    TAGGING_ACTION_BYTES,
+    USER_ID_BYTES,
+    DigestProvider,
+    digest_message_size,
+    make_digest,
+    partial_result_size,
+    profile_length,
+    profile_storage_bytes,
+    remaining_list_size,
+    tagging_actions_size,
+)
+
+
+class TestSizes:
+    def test_paper_constants(self):
+        assert USER_ID_BYTES == 4
+        assert TAGGING_ACTION_BYTES == 36
+        assert DIGEST_BYTES == 2500
+
+    def test_digest_message_size(self):
+        assert digest_message_size(0) == 0
+        assert digest_message_size(10) == 10 * (2500 + 4)
+
+    def test_tagging_actions_size(self):
+        assert tagging_actions_size(3) == 108
+
+    def test_remaining_list_size(self):
+        assert remaining_list_size(990) == 3960
+
+    def test_partial_result_size(self):
+        assert partial_result_size(10, 5) == 10 * 20 + 5 * 4
+
+    def test_profile_length_and_storage(self):
+        assert profile_length(249) == 249
+        assert profile_storage_bytes(249) == 249 * 36
+
+    @pytest.mark.parametrize(
+        "function",
+        [
+            digest_message_size,
+            tagging_actions_size,
+            remaining_list_size,
+            profile_length,
+        ],
+    )
+    def test_negative_counts_rejected(self, function):
+        with pytest.raises(ValueError):
+            function(-1)
+
+    def test_partial_result_rejects_negative(self):
+        with pytest.raises(ValueError):
+            partial_result_size(-1, 0)
+
+    def test_paper_storage_example(self):
+        """The paper: 10 stored profiles of ~250 actions each fit in ~12.5 MB
+        only when the whole personal network's 1000 profiles are counted; a
+        sanity check that our per-profile cost model is in the same regime."""
+        one_profile = profile_storage_bytes(349)
+        assert one_profile == pytest.approx(12_564, rel=0.01)
+
+
+class TestDigest:
+    def test_digest_covers_profile_items(self):
+        profile = UserProfile(1, [(10, 1), (20, 2), (30, 3)])
+        digest = make_digest(profile, num_bits=512, num_hashes=4)
+        assert all(digest.might_contain_item(item) for item in (10, 20, 30))
+        assert digest.user_id == 1
+        assert digest.version == profile.version
+
+    def test_shares_item_with(self):
+        profile = UserProfile(1, [(10, 1)])
+        digest = make_digest(profile, num_bits=512, num_hashes=4)
+        assert digest.shares_item_with([99, 10])
+        assert not digest.shares_item_with([])
+
+    def test_wire_size_is_paper_constant(self):
+        profile = UserProfile(1, [(10, 1)])
+        digest = make_digest(profile, num_bits=64, num_hashes=2)
+        assert digest.size_in_bytes == DIGEST_BYTES
+
+    def test_same_version_as(self):
+        profile = UserProfile(1, [(10, 1)])
+        a = make_digest(profile, num_bits=64, num_hashes=2)
+        b = make_digest(profile, num_bits=64, num_hashes=2)
+        assert a.same_version_as(b)
+        profile.add(11, 2)
+        c = make_digest(profile, num_bits=64, num_hashes=2)
+        assert not a.same_version_as(c)
+
+
+class TestDigestProvider:
+    def test_caches_until_profile_changes(self):
+        profile = UserProfile(1, [(10, 1)])
+        provider = DigestProvider(profile, num_bits=128, num_hashes=2)
+        first = provider.current()
+        assert provider.current() is first
+        profile.add(20, 2)
+        second = provider.current()
+        assert second is not first
+        assert second.version == profile.version
+        assert second.might_contain_item(20)

@@ -1,0 +1,135 @@
+"""Tests for P3QConfig and the querier-side query session state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.queries import Query
+from repro.p3q.config import P3QConfig
+from repro.p3q.query import CycleSnapshot, ForwardedQueryState, PartialResult, QuerySession
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = P3QConfig()
+        assert config.alpha == 0.5
+
+    def test_uniform_storage_lookup(self):
+        config = P3QConfig(storage=7)
+        assert config.storage_for(123) == 7
+
+    def test_per_user_storage_lookup(self):
+        config = P3QConfig(storage={1: 5, 2: 10})
+        assert config.storage_for(1) == 5
+        with pytest.raises(KeyError):
+            config.storage_for(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P3QConfig(network_size=0)
+        with pytest.raises(ValueError):
+            P3QConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            P3QConfig(k=0)
+        with pytest.raises(ValueError):
+            P3QConfig(random_view_size=0)
+        with pytest.raises(ValueError):
+            P3QConfig(storage=-1)
+
+    def test_with_storage_and_with_alpha_preserve_other_fields(self):
+        config = P3QConfig(network_size=33, storage=4, alpha=0.3, seed=9)
+        other = config.with_storage({1: 2}).with_alpha(0.7)
+        assert other.network_size == 33
+        assert other.seed == 9
+        assert other.alpha == 0.7
+        assert other.storage_for(1) == 2
+
+
+def _query() -> Query:
+    return Query(query_id=5, querier=0, tags=(1, 2))
+
+
+def _partial(sender, scores, contributors, cycle=1, query_id=5):
+    return PartialResult(
+        query_id=query_id,
+        sender=sender,
+        scores=scores,
+        contributors=tuple(contributors),
+        cycle=cycle,
+    )
+
+
+class TestQuerySession:
+    def test_local_result_creates_cycle_zero_snapshot(self):
+        session = QuerySession(_query(), k=2, personal_network_ids=[1, 2, 3])
+        session.add_local_result({10: 2.0, 20: 1.0}, contributors=[0, 1])
+        snapshot = session.close_cycle(0)
+        assert snapshot.cycle == 0
+        assert snapshot.items == [10, 20]
+        assert snapshot.profiles_used == 2
+        assert snapshot.profiles_total == 4  # 3 neighbours + querier
+
+    def test_remaining_list_roundtrip(self):
+        session = QuerySession(_query(), k=2, personal_network_ids=[1, 2, 3])
+        session.set_remaining([2, 3])
+        assert session.remaining == [2, 3]
+
+    def test_results_refine_over_cycles(self):
+        session = QuerySession(_query(), k=1, personal_network_ids=[1, 2])
+        session.add_local_result({10: 1.0}, contributors=[0])
+        session.close_cycle(0)
+        session.receive_partial(_partial(1, {20: 5.0}, [1]))
+        snapshot = session.close_cycle(1)
+        assert snapshot.items == [20]
+
+    def test_coverage_and_completion(self):
+        session = QuerySession(_query(), k=1, personal_network_ids=[1, 2])
+        session.add_local_result({}, contributors=[0])
+        session.close_cycle(0)
+        assert not session.is_complete()
+        session.receive_partial(_partial(1, {1: 1.0}, [1]))
+        session.receive_partial(_partial(2, {2: 1.0}, [2]))
+        session.close_cycle(1)
+        assert session.is_complete()
+        assert session.coverage == pytest.approx(1.0)
+        assert session.closed
+
+    def test_duplicate_contributors_are_not_double_counted(self):
+        session = QuerySession(_query(), k=1, personal_network_ids=[1])
+        session.add_local_result({10: 1.0}, contributors=[0])
+        session.close_cycle(0)
+        session.receive_partial(_partial(1, {10: 4.0}, [1]))
+        session.close_cycle(1)
+        # The same contributor arrives again: the list must be ignored.
+        session.receive_partial(_partial(9, {10: 4.0}, [1]))
+        snapshot = session.close_cycle(2)
+        assert snapshot.top_k[0][1] == pytest.approx(5.0)
+
+    def test_completion_triggers_exact_results(self):
+        session = QuerySession(_query(), k=2, personal_network_ids=[1])
+        session.add_local_result({10: 1.0, 20: 3.0}, contributors=[0])
+        session.close_cycle(0)
+        session.receive_partial(_partial(1, {10: 3.0, 30: 1.0}, [1]))
+        snapshot = session.close_cycle(1)
+        assert snapshot.items == [10, 20]  # 10 -> 4, 20 -> 3, 30 -> 1
+        assert session.is_complete()
+
+    def test_snapshot_coverage_property(self):
+        snapshot = CycleSnapshot(cycle=1, top_k=[(1, 1.0)], profiles_used=2, profiles_total=4)
+        assert snapshot.coverage == 0.5
+        empty = CycleSnapshot(cycle=0, top_k=[], profiles_used=0, profiles_total=0)
+        assert empty.coverage == 1.0
+
+    def test_current_items_exact_flag(self):
+        session = QuerySession(_query(), k=1, personal_network_ids=[])
+        session.add_local_result({10: 1.0, 20: 2.0}, contributors=[0])
+        session.close_cycle(0)
+        assert session.current_items(exact=True) == [20]
+
+
+class TestForwardedState:
+    def test_active_reflects_remaining(self):
+        state = ForwardedQueryState(query=_query(), remaining=[1, 2])
+        assert state.active
+        state.remaining = []
+        assert not state.active
