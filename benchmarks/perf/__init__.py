@@ -1,0 +1,49 @@
+"""Performance-tracking benchmark harness (micro + macro).
+
+Usage (from the repository root)::
+
+    python -m benchmarks.perf                 # full run, writes BENCH_p3q.json
+    python -m benchmarks.perf --quick         # CI smoke run on a tiny network
+    python -m benchmarks.perf --validate BENCH_p3q.json
+
+The harness measures the two hot paths the performance layer optimizes --
+Bloom-digest operations and similarity scoring -- against their seed
+(pre-optimization) baselines, plus end-to-end simulator cycles/sec at
+several network sizes, and persists everything to ``BENCH_p3q.json`` so the
+repository's performance trajectory is tracked PR over PR.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `python -m benchmarks.perf` without an explicit PYTHONPATH=src.
+_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from .harness import (  # noqa: E402
+    DEFAULT_REPORT_NAME,
+    SCHEMA_VERSION,
+    bench_digest,
+    bench_macro,
+    bench_similarity,
+    main,
+    run_suite,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_REPORT_NAME",
+    "SCHEMA_VERSION",
+    "bench_digest",
+    "bench_macro",
+    "bench_similarity",
+    "main",
+    "run_suite",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,375 @@
+"""Micro and macro performance benchmarks writing ``BENCH_p3q.json``.
+
+Three benchmark families:
+
+* **digest** -- Bloom-filter construction and membership throughput of the
+  bit-packed :class:`repro.bloom.BloomFilter` versus the seed
+  :class:`repro.bloom._legacy.LegacyBloomFilter` (per-probe ``hashlib``),
+  at the paper's digest geometry (20 Kbit / 14 hashes, ~250-item profiles);
+* **similarity** -- profile-scoring throughput of the interned fast path
+  (:func:`repro.similarity.overlap_score` on cached action-id sets) versus
+  a naive baseline that rebuilds tuple sets per comparison, the seed's
+  behaviour;
+* **macro** -- end-to-end simulator cycles/sec (lazy gossip and eager query
+  processing) at several network sizes.
+
+The report format is versioned JSON; :func:`validate_report` is the schema
+check CI runs against the smoke report.  All numbers are best-of-``repeats``
+wall-clock rates, so background noise biases results low, never high.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+SCHEMA_VERSION = 1
+DEFAULT_REPORT_NAME = "BENCH_p3q.json"
+
+#: Macro benchmark network sizes (the issue's N=100/500/1000 trajectory).
+DEFAULT_MACRO_SIZES = (100, 500, 1000)
+QUICK_MACRO_SIZES = (30,)
+
+
+def _best_rate(operation: Callable[[], int], repeats: int) -> float:
+    """Best observed rate (operations/second) over ``repeats`` timed runs.
+
+    ``operation`` performs a batch of work and returns how many operations
+    the batch contained.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        count = operation()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, count / elapsed)
+    return best
+
+
+# --------------------------------------------------------------------- digest
+
+
+def bench_digest(
+    num_items: int = 250,
+    num_probes: int = 2_000,
+    repeats: int = 5,
+    quick: bool = False,
+) -> Dict[str, float]:
+    """Bloom digest construction and membership throughput, new vs. legacy."""
+    from repro.bloom import BloomFilter, clear_hash_cache
+    from repro.bloom._legacy import LegacyBloomFilter
+
+    if quick:
+        num_probes = min(num_probes, 500)
+        repeats = 2
+
+    items = list(range(num_items))
+    # Half members, half non-members: exercises both the early-exit negative
+    # probe and the full k-probe positive path.
+    half = num_probes // 2
+    probes = [items[i % num_items] for i in range(half)]
+    probes += list(range(num_items, num_items + half))
+
+    def build_new() -> int:
+        for _ in range(10):
+            BloomFilter.from_items(items)
+        return 10
+
+    def build_legacy() -> int:
+        for _ in range(10):
+            LegacyBloomFilter.from_items(items)
+        return 10
+
+    new_filter = BloomFilter.from_items(items)
+    legacy_filter = LegacyBloomFilter.from_items(items)
+
+    def probe(bloom) -> Callable[[], int]:
+        def run() -> int:
+            hits = 0
+            for key in probes:
+                if key in bloom:
+                    hits += 1
+            # Members always hit (no false negatives); keeps the loop live.
+            assert hits >= half
+            return len(probes)
+
+        return run
+
+    clear_hash_cache()
+    build_per_sec = _best_rate(build_new, repeats)
+    membership_per_sec = _best_rate(probe(new_filter), repeats)
+    legacy_build_per_sec = _best_rate(build_legacy, repeats)
+    legacy_membership_per_sec = _best_rate(probe(legacy_filter), repeats)
+
+    return {
+        "num_items": num_items,
+        "num_probes": len(probes),
+        "build_per_sec": build_per_sec,
+        "membership_ops_per_sec": membership_per_sec,
+        "legacy_build_per_sec": legacy_build_per_sec,
+        "legacy_membership_ops_per_sec": legacy_membership_per_sec,
+        "build_speedup": build_per_sec / legacy_build_per_sec,
+        "membership_speedup": membership_per_sec / legacy_membership_per_sec,
+    }
+
+
+# ----------------------------------------------------------------- similarity
+
+
+def _naive_overlap(a, b) -> float:
+    """The seed implementation of the overlap score.
+
+    Copies both action sets (the seed's ``actions`` property returned a fresh
+    ``frozenset`` per access) and intersects them with a Python-level
+    comprehension, exactly like the pre-interning ``common_actions``.
+    """
+    actions_a = frozenset(iter(a))
+    actions_b = frozenset(iter(b))
+    if len(actions_a) > len(actions_b):
+        actions_a, actions_b = actions_b, actions_a
+    return float(len({action for action in actions_a if action in actions_b}))
+
+
+def bench_similarity(
+    num_users: int = 120,
+    repeats: int = 5,
+    quick: bool = False,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """All-pairs scoring throughput, interned fast path vs. naive baseline."""
+    from repro.data import SyntheticConfig, generate_dataset
+    from repro.similarity import cosine_score, jaccard_score, overlap_score
+
+    if quick:
+        num_users = min(num_users, 40)
+        repeats = 2
+
+    dataset = generate_dataset(SyntheticConfig(num_users=num_users, seed=seed))
+    profiles = list(dataset.profiles())
+    pairs = [
+        (profiles[i], profiles[j])
+        for i in range(len(profiles))
+        for j in range(i + 1, len(profiles))
+    ]
+
+    def run_metric(metric) -> Callable[[], int]:
+        def run() -> int:
+            total = 0.0
+            for a, b in pairs:
+                total += metric(a, b)
+            assert total >= 0.0
+            return len(pairs)
+
+        return run
+
+    overlap_per_sec = _best_rate(run_metric(overlap_score), repeats)
+    naive_per_sec = _best_rate(run_metric(_naive_overlap), repeats)
+
+    return {
+        "num_users": num_users,
+        "num_pairs": len(pairs),
+        "overlap_pairs_per_sec": overlap_per_sec,
+        "naive_overlap_pairs_per_sec": naive_per_sec,
+        "overlap_speedup": overlap_per_sec / naive_per_sec,
+        "jaccard_pairs_per_sec": _best_rate(run_metric(jaccard_score), repeats),
+        "cosine_pairs_per_sec": _best_rate(run_metric(cosine_score), repeats),
+    }
+
+
+# ---------------------------------------------------------------------- macro
+
+
+def bench_macro(
+    sizes: Sequence[int] = DEFAULT_MACRO_SIZES,
+    lazy_cycles: int = 3,
+    num_queries: int = 10,
+    quick: bool = False,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """End-to-end simulator throughput: lazy and eager cycles/sec per size."""
+    from repro.data import QueryWorkloadGenerator, SyntheticConfig, generate_dataset
+    from repro.p3q import P3QConfig, P3QSimulation
+
+    if quick:
+        sizes = QUICK_MACRO_SIZES
+        lazy_cycles = 2
+        num_queries = 3
+
+    results: Dict[str, Dict[str, float]] = {}
+    for size in sizes:
+        dataset = generate_dataset(SyntheticConfig(num_users=size, seed=seed))
+        config = P3QConfig(
+            network_size=max(10, min(50, size // 4)),
+            storage=3,
+            seed=seed,
+        )
+        sim = P3QSimulation(dataset, config)
+        sim.bootstrap_random_views()
+
+        start = time.perf_counter()
+        sim.run_lazy(lazy_cycles)
+        lazy_elapsed = time.perf_counter() - start
+
+        # The eager phase needs populated personal networks with unstored
+        # neighbours (that is where the remaining lists come from), so it runs
+        # on the converged state like the paper's query experiments.
+        sim.warm_start()
+        workload = QueryWorkloadGenerator(dataset, seed=seed)
+        queriers = dataset.user_ids[: min(num_queries, len(dataset))]
+        queries = [workload.query_for(user_id=uid) for uid in queriers]
+        sim.issue_queries(queries)
+        start = time.perf_counter()
+        eager_run = sim.run_eager(cycles=50)
+        eager_elapsed = time.perf_counter() - start
+
+        entry: Dict[str, float] = {
+            "num_nodes": size,
+            "lazy_cycles": lazy_cycles,
+            "lazy_cycles_per_sec": lazy_cycles / lazy_elapsed if lazy_elapsed else 0.0,
+            "eager_cycles": eager_run,
+            "eager_cycles_per_sec": eager_run / eager_elapsed if eager_elapsed else 0.0,
+            "node_cycles_per_sec": size * lazy_cycles / lazy_elapsed if lazy_elapsed else 0.0,
+        }
+        results[str(size)] = entry
+    return results
+
+
+# --------------------------------------------------------------------- report
+
+
+def run_suite(quick: bool = False, sizes: Optional[Sequence[int]] = None) -> Dict:
+    """Run the full benchmark suite and return the report dictionary."""
+    started = time.time()
+    digest = bench_digest(quick=quick)
+    similarity = bench_similarity(quick=quick)
+    macro = bench_macro(sizes=sizes or DEFAULT_MACRO_SIZES, quick=quick)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)),
+        "wall_seconds": round(time.time() - started, 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "digest": digest,
+        "similarity": similarity,
+        "macro": macro,
+    }
+
+
+def validate_report(report: Dict) -> List[str]:
+    """Schema-check a report; returns a list of problems (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, got {report.get('schema_version')!r}"
+        )
+    for section, keys in (
+        ("digest", ("membership_ops_per_sec", "membership_speedup", "build_per_sec")),
+        ("similarity", ("overlap_pairs_per_sec", "overlap_speedup")),
+    ):
+        payload = report.get(section)
+        if not isinstance(payload, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            value = payload.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"{section}.{key} must be a positive number, got {value!r}")
+    macro = report.get("macro")
+    if not isinstance(macro, dict) or not macro:
+        problems.append("missing section 'macro'")
+    else:
+        for size, entry in macro.items():
+            if not isinstance(entry, dict):
+                problems.append(f"macro[{size!r}] must be an object")
+                continue
+            for key in ("lazy_cycles_per_sec", "eager_cycles_per_sec"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    problems.append(f"macro[{size!r}].{key} must be a positive number")
+    return problems
+
+
+def write_report(report: Dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def _print_summary(report: Dict) -> None:
+    digest = report["digest"]
+    similarity = report["similarity"]
+    print(
+        f"digest: membership {digest['membership_ops_per_sec']:,.0f} ops/s "
+        f"({digest['membership_speedup']:.1f}x vs hashlib), "
+        f"build {digest['build_per_sec']:,.1f} filters/s "
+        f"({digest['build_speedup']:.1f}x)"
+    )
+    print(
+        f"similarity: overlap {similarity['overlap_pairs_per_sec']:,.0f} pairs/s "
+        f"({similarity['overlap_speedup']:.1f}x vs naive)"
+    )
+    for size, entry in sorted(report["macro"].items(), key=lambda kv: int(kv[0])):
+        print(
+            f"macro N={size}: lazy {entry['lazy_cycles_per_sec']:.2f} cycles/s, "
+            f"eager {entry['eager_cycles_per_sec']:.2f} cycles/s"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="P3Q performance-tracking benchmark harness",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(DEFAULT_REPORT_NAME),
+        help=f"where to write the JSON report (default: ./{DEFAULT_REPORT_NAME})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny smoke run (CI): one small network, few repeats",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help=f"macro network sizes (default: {' '.join(map(str, DEFAULT_MACRO_SIZES))})",
+    )
+    parser.add_argument(
+        "--validate",
+        type=Path,
+        default=None,
+        metavar="REPORT",
+        help="validate an existing report file and exit (no benchmarks run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        try:
+            report = json.loads(args.validate.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{args.validate}: unreadable report: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"{args.validate}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid (schema v{report['schema_version']})")
+        return 0
+
+    report = run_suite(quick=args.quick, sizes=args.sizes)
+    write_report(report, args.output)
+    _print_summary(report)
+    print(f"report written to {args.output}")
+    return 0

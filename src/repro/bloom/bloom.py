@@ -1,4 +1,4 @@
-"""Bloom filter profile digests.
+"""Bit-packed Bloom filter profile digests.
 
 P3Q never ships a full profile before knowing it is worth shipping.  Each
 node stores, for every neighbour in its personal network and random view, a
@@ -11,16 +11,137 @@ The paper uses 20 Kbit filters for profiles of ~249 items on average, giving
 a false-positive rate around 0.1%.  This implementation is a standard
 partition-free Bloom filter with double hashing (Kirsch & Mitzenmacher), so
 ``k`` hash functions are derived from two base hashes.
+
+Digest checks are the hottest operation of the whole simulator -- every
+gossip cycle probes hundreds of digests against the receiver's item set -- so
+the implementation is engineered for cheap probes (see
+``docs/ARCHITECTURE.md`` for how this layer fits the rest of the system):
+
+* **Bit-packed-integer storage.**  The whole bit array is one Python int.
+  Inserting a key ORs in its precomputed ``k``-bit *probe mask*; a
+  membership test is a single C-level ``bits & mask == mask`` -- no
+  per-probe Python loop at all.
+* **Integer double hashing.**  Item ids (small ints) are mixed with the
+  splitmix64 finalizer -- a handful of integer multiplies -- instead of a
+  ``hashlib`` digest of ``repr(key)``.  Non-integer keys keep the ``blake2b``
+  path as a fallback.
+* **Shared caches.**  The double-hash bases of a key are geometry-independent
+  and memoized across all filters (:func:`hash_bases`); the k-bit probe masks
+  they expand to are memoized per filter geometry.  Digest construction and
+  membership tests touch the same item ids over and over, so after the first
+  touch every operation is one dict hit plus one big-int instruction.
+
+The original ``hashlib``-per-probe implementation is preserved as
+:class:`repro.bloom._legacy.LegacyBloomFilter` for equivalence tests and as
+the benchmark baseline.
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Tuple
 
 #: Sizing used in the paper's cost analysis: 20 Kbit per digest.
 PAPER_DIGEST_BITS = 20_000
+
+_MASK64 = (1 << 64) - 1
+
+#: Shared cache of per-key double-hash bases ``(h1, h2)``.  The bases do not
+#: depend on filter geometry (``num_bits``/``num_hashes``), so one cache
+#: serves every filter in the process.  Bounded so adversarial key streams
+#: cannot grow it without limit; in simulations the working set is the item
+#: universe, which fits comfortably.
+_HASH_BASES: Dict[object, Tuple[int, int]] = {}
+_HASH_CACHE_LIMIT = 1 << 20
+
+#: Per-geometry caches of probe masks: ``(num_bits, num_hashes) -> {key ->
+#: k-bit int mask}``.  A mask is the OR of the key's ``k`` probe positions,
+#: so insert and membership collapse to single big-int operations.  Int keys
+#: are stored under the key itself; other types under ``(type, key)`` (the
+#: same ``1``/``True``/``1.0`` separation as the hash-base cache).  A mask
+#: costs ~``num_bits/8`` bytes of payload plus dict/key/int-object overhead,
+#: so each geometry's entry cap is derived from a byte budget rather than a
+#: flat count.
+_MASKS: Dict[Tuple[int, int], Dict[object, int]] = {}
+_MASK_CACHE_BYTES_PER_GEOMETRY = 128 << 20
+#: Approximate per-entry bookkeeping cost: dict slot + key object + the
+#: int header of the mask itself.
+_MASK_ENTRY_OVERHEAD_BYTES = 128
+_MASK_CACHE_MIN_ENTRIES = 1024
+
+
+def _cache_key(key: object) -> object:
+    """The dict key a cache entry for ``key`` is stored under, or ``None``.
+
+    Int keys are stored raw; every other hashable type under ``(type, key)``
+    so equal-but-distinct-type keys (``1``/``True``/``1.0``) never share an
+    entry; unhashable keys return ``None`` (computed but never cached).
+    Both shared caches MUST use this helper -- diverging dispatch rules
+    would reintroduce the warm-up-order aliasing hazard.
+    """
+    if type(key) is int:
+        return key
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return (type(key), key)
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a cheap, well-distributed 64-bit mixer."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def hash_bases(key: object) -> Tuple[int, int]:
+    """The two double-hashing bases ``(h1, h2)`` for ``key``, memoized.
+
+    ``h2`` is forced odd so that for power-free moduli the probe sequence
+    ``h1 + i*h2`` still cycles through many distinct positions.  Unsigned
+    integers in the 64-bit range use splitmix64 mixing; everything else
+    (negative or huge ints, tuples, strings) falls back to ``blake2b`` over
+    ``repr(key)`` exactly like the legacy filter -- the fast path must not
+    truncate, or ``k`` and ``k + 2**64`` would alias to identical bases
+    (a deterministic false positive the legacy filter never produced).
+
+    Cache entries are keyed through :func:`_cache_key`: Python dicts treat
+    ``1``, ``1.0`` and ``True`` as the same key, and letting e.g. ``True``
+    hit an entry cached for ``1`` would make the bases depend on cache
+    warm-up order -- a false-negative hazard once the cache is cleared.
+    """
+    cache_key = _cache_key(key)
+    if cache_key is not None:
+        bases = _HASH_BASES.get(cache_key)
+        if bases is not None:
+            return bases
+    if type(key) is int and 0 <= key < (1 << 64):
+        h1 = _mix64(key)
+        h2 = _mix64(h1) | 1
+    else:
+        digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+    bases = (h1, h2)
+    if cache_key is not None and len(_HASH_BASES) < _HASH_CACHE_LIMIT:
+        _HASH_BASES[cache_key] = bases
+    return bases
+
+
+def clear_hash_cache() -> None:
+    """Drop the shared hash-base and probe-mask caches.
+
+    Safe at any time: both caches only memoize pure functions of the key
+    (and filter geometry), so clearing them changes nothing observable
+    except speed.  Mask dicts are cleared *in place* because live filters
+    hold references to them; those filters simply re-populate on use.
+    """
+    _HASH_BASES.clear()
+    for masks in _MASKS.values():
+        masks.clear()
 
 
 def optimal_num_hashes(num_bits: int, expected_items: int) -> int:
@@ -55,7 +176,7 @@ class BloomFilter:
     the standard estimate.
     """
 
-    __slots__ = ("num_bits", "num_hashes", "_bits", "_count")
+    __slots__ = ("num_bits", "num_hashes", "_bits", "_count", "_masks", "_mask_limit")
 
     def __init__(self, num_bits: int = PAPER_DIGEST_BITS, num_hashes: int = 14) -> None:
         if num_bits <= 0:
@@ -64,8 +185,17 @@ class BloomFilter:
             raise ValueError("num_hashes must be positive")
         self.num_bits = num_bits
         self.num_hashes = num_hashes
-        self._bits = bytearray((num_bits + 7) // 8)
+        #: The bit array, packed into one arbitrary-precision integer.
+        self._bits = 0
         self._count = 0
+        #: The shared probe-mask cache for this filter's geometry, capped so
+        #: the cache costs at most ~_MASK_CACHE_BYTES_PER_GEOMETRY bytes.
+        self._masks = _MASKS.setdefault((num_bits, num_hashes), {})
+        self._mask_limit = max(
+            _MASK_CACHE_MIN_ENTRIES,
+            _MASK_CACHE_BYTES_PER_GEOMETRY
+            // ((num_bits + 7) // 8 + _MASK_ENTRY_OVERHEAD_BYTES),
+        )
 
     # -- constructors ---------------------------------------------------------
 
@@ -85,30 +215,30 @@ class BloomFilter:
     ) -> "BloomFilter":
         """Build a filter containing every element of ``items``."""
         bloom = cls(num_bits=num_bits, num_hashes=num_hashes)
-        for item in items:
-            bloom.add(item)
+        bloom.update(items)
         return bloom
-
-    # -- hashing --------------------------------------------------------------
-
-    def _base_hashes(self, key: object) -> Tuple[int, int]:
-        data = repr(key).encode("utf-8")
-        digest = hashlib.blake2b(data, digest_size=16).digest()
-        h1 = int.from_bytes(digest[:8], "big")
-        h2 = int.from_bytes(digest[8:], "big") | 1  # make h2 odd -> full cycle
-        return h1, h2
-
-    def _positions(self, key: object) -> Iterator[int]:
-        h1, h2 = self._base_hashes(key)
-        for i in range(self.num_hashes):
-            yield (h1 + i * h2) % self.num_bits
 
     # -- core operations ------------------------------------------------------
 
+    def _probe_mask(self, key: object) -> int:
+        """The OR of ``key``'s ``k`` probe bits, memoized per geometry."""
+        masks = self._masks
+        cache_key = _cache_key(key)
+        mask = masks.get(cache_key) if cache_key is not None else None
+        if mask is None:
+            h1, h2 = hash_bases(key)
+            num_bits = self.num_bits
+            mask = 0
+            for _ in range(self.num_hashes):
+                mask |= 1 << (h1 % num_bits)
+                h1 += h2
+            if cache_key is not None and len(masks) < self._mask_limit:
+                masks[cache_key] = mask
+        return mask
+
     def add(self, key: object) -> None:
         """Insert ``key`` into the filter."""
-        for pos in self._positions(key):
-            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._bits |= self._probe_mask(key)
         self._count += 1
 
     def update(self, keys: Iterable[object]) -> None:
@@ -116,7 +246,8 @@ class BloomFilter:
             self.add(key)
 
     def __contains__(self, key: object) -> bool:
-        return all(self._bits[pos // 8] >> (pos % 8) & 1 for pos in self._positions(key))
+        mask = self._probe_mask(key)
+        return self._bits & mask == mask
 
     def might_contain(self, key: object) -> bool:
         """Alias of ``key in filter`` with the probabilistic semantics spelt out."""
@@ -141,12 +272,11 @@ class BloomFilter:
     @property
     def size_in_bytes(self) -> int:
         """Wire / storage size of the bit array (the cost-model quantity)."""
-        return len(self._bits)
+        return (self.num_bits + 7) // 8
 
     def fill_ratio(self) -> float:
         """Fraction of bits set to one."""
-        set_bits = sum(bin(byte).count("1") for byte in self._bits)
-        return set_bits / self.num_bits
+        return self._bits.bit_count() / self.num_bits
 
     def estimated_false_positive_rate(self) -> float:
         """Standard estimate ``(1 - e^{-kn/m})^k`` using the insert count."""
@@ -172,6 +302,6 @@ class BloomFilter:
 
     def copy(self) -> "BloomFilter":
         clone = BloomFilter(self.num_bits, self.num_hashes)
-        clone._bits = bytearray(self._bits)
+        clone._bits = self._bits  # ints are immutable: sharing is a deep copy
         clone._count = self._count
         return clone

@@ -8,6 +8,7 @@ from .models import (
     TaggingAction,
     UserProfile,
 )
+from .interning import GLOBAL_INTERNER, ActionInterner, action_of, intern_action
 from .synthetic import (
     SyntheticConfig,
     SyntheticTraceGenerator,
@@ -31,6 +32,10 @@ from .importers import (
 )
 
 __all__ = [
+    "ActionInterner",
+    "GLOBAL_INTERNER",
+    "action_of",
+    "intern_action",
     "ChangeDay",
     "ChurnEvent",
     "Dataset",

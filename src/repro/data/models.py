@@ -9,6 +9,13 @@ defined on these sets.
 Users, items and tags are identified by small integers.  Keeping identifiers
 numeric keeps profiles hashable and cheap to intersect, and matches the
 paper's cost model (4-byte user ids, 16-byte hashed items / tags).
+
+Profiles are *interned*: next to the raw ``(item, tag)`` tuple set each
+profile incrementally maintains a parallel set of dense integer action ids
+(:mod:`repro.data.interning`) plus per-version cached frozen views.  The
+similarity layer intersects the id sets instead of rebuilding tuple sets per
+comparison -- see ``docs/ARCHITECTURE.md`` for the full design and its
+invariants.
 """
 
 from __future__ import annotations
@@ -17,9 +24,13 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
 
+from .interning import intern_action
+
 #: A tagging action is the pair (item, tag).  The user is implied by the
 #: profile that contains the action.
 TaggingAction = Tuple[int, int]
+
+_EMPTY_FROZENSET: FrozenSet[int] = frozenset()
 
 
 class UserProfile:
@@ -33,15 +44,34 @@ class UserProfile:
       encodes);
     * an item -> tags index (used to answer queries and to transfer only the
       tags of *common* items during the lazy 3-step exchange).
+
+    All indexes -- including the interned action-id set, a tag -> items index
+    for query scoring, and the frozen views handed out by the read-access
+    properties -- are maintained incrementally on ``add`` or cached per
+    profile version, so the hot paths (similarity scoring, digest building,
+    query evaluation) never rebuild them per call.
     """
 
-    __slots__ = ("user_id", "_actions", "_item_tags", "_version")
+    __slots__ = (
+        "user_id",
+        "_actions",
+        "_action_ids",
+        "_item_tags",
+        "_tag_items",
+        "_version",
+        "_cache",
+    )
 
     def __init__(self, user_id: int, actions: Iterable[TaggingAction] = ()) -> None:
         self.user_id = user_id
         self._actions: Set[TaggingAction] = set()
+        self._action_ids: Set[int] = set()
         self._item_tags: Dict[int, Set[int]] = defaultdict(set)
+        self._tag_items: Dict[int, Set[int]] = defaultdict(set)
         self._version = 0
+        #: Per-version cache of frozen views; cleared whenever the stored
+        #: version key no longer matches :attr:`version`.
+        self._cache: Dict[object, object] = {"version": -1}
         for item, tag in actions:
             self.add(item, tag)
 
@@ -58,7 +88,9 @@ class UserProfile:
         if action in self._actions:
             return False
         self._actions.add(action)
+        self._action_ids.add(intern_action(item, tag))
         self._item_tags[item].add(tag)
+        self._tag_items[tag].add(item)
         self._version += 1
         return True
 
@@ -68,6 +100,17 @@ class UserProfile:
 
     # -- read access --------------------------------------------------------
 
+    def _frozen(self, key: object, source: Iterable) -> FrozenSet:
+        """A frozen view of ``source``, cached until the next profile change."""
+        cache = self._cache
+        if cache["version"] != self._version:
+            cache.clear()
+            cache["version"] = self._version
+        value = cache.get(key)
+        if value is None:
+            value = cache[key] = frozenset(source)
+        return value  # type: ignore[return-value]
+
     @property
     def version(self) -> int:
         """Monotonic counter incremented on every profile change."""
@@ -76,16 +119,39 @@ class UserProfile:
     @property
     def actions(self) -> FrozenSet[TaggingAction]:
         """The (immutable view of the) set of tagging actions."""
-        return frozenset(self._actions)
+        return self._frozen("actions", self._actions)
+
+    @property
+    def action_ids(self) -> FrozenSet[int]:
+        """Interned action ids (see :mod:`repro.data.interning`).
+
+        ``a.action_ids & b.action_ids`` has the same cardinality as the
+        intersection of the tuple-action sets; the similarity metrics score
+        on this view.
+        """
+        return self._frozen("action_ids", self._action_ids)
 
     @property
     def items(self) -> FrozenSet[int]:
         """Distinct items this user has tagged (content of the digest)."""
-        return frozenset(self._item_tags)
+        return self._frozen("items", self._item_tags)
 
     def tags_for(self, item: int) -> FrozenSet[int]:
         """Tags this user attached to ``item`` (empty if never tagged)."""
         return frozenset(self._item_tags.get(item, ()))
+
+    def items_for_tag(self, tag: int) -> FrozenSet[int]:
+        """Items this user annotated with ``tag`` (empty if never used).
+
+        Query scoring iterates the (few) query tags and walks this index,
+        instead of scanning every action of the profile.  Absent tags share
+        one empty frozenset rather than caching an entry per queried tag --
+        long-lived replicas would otherwise grow with the query-tag universe.
+        """
+        items = self._tag_items.get(tag)
+        if not items:
+            return _EMPTY_FROZENSET
+        return self._frozen(("tag", tag), items)
 
     def actions_for_items(self, items: Iterable[int]) -> Set[TaggingAction]:
         """Tagging actions restricted to a set of items.
@@ -94,13 +160,14 @@ class UserProfile:
         on *common* items are shipped so the peer can compute the exact
         similarity score without receiving the whole profile.
         """
-        wanted = set(items)
-        return {
-            (item, tag)
-            for item, tags in self._item_tags.items()
-            if item in wanted
-            for tag in tags
-        }
+        item_tags = self._item_tags
+        actions: Set[TaggingAction] = set()
+        for item in set(items):
+            tags = item_tags.get(item)
+            if tags:
+                for tag in tags:
+                    actions.add((item, tag))
+        return actions
 
     def has_item(self, item: int) -> bool:
         return item in self._item_tags
@@ -126,9 +193,20 @@ class UserProfile:
         return f"UserProfile(user_id={self.user_id}, actions={len(self._actions)})"
 
     def copy(self) -> "UserProfile":
-        """A deep snapshot of this profile (used for replicas on peers)."""
-        clone = UserProfile(self.user_id, self._actions)
+        """A deep snapshot of this profile (used for replicas on peers).
+
+        Copies the maintained indexes directly instead of replaying every
+        ``add``; replica stores during gossip are frequent enough for the
+        difference to show in the macro benchmarks.
+        """
+        clone = UserProfile.__new__(UserProfile)
+        clone.user_id = self.user_id
+        clone._actions = set(self._actions)
+        clone._action_ids = set(self._action_ids)
+        clone._item_tags = defaultdict(set, {i: set(t) for i, t in self._item_tags.items()})
+        clone._tag_items = defaultdict(set, {t: set(i) for t, i in self._tag_items.items()})
         clone._version = self._version
+        clone._cache = {"version": -1}
         return clone
 
 

@@ -1,4 +1,10 @@
-"""Gossip substrate: digests, views, peer sampling and the lazy exchange."""
+"""Gossip substrate: digests, views, peer sampling and the lazy exchange.
+
+The digest and exchange modules run on the performance layer introduced with
+the bit-packed Bloom filter and interned profiles; ``docs/ARCHITECTURE.md``
+documents the layering (data -> bloom/similarity -> gossip -> p3q ->
+experiments) and the invariants the fast paths rely on.
+"""
 
 from .digest import DigestProvider, ProfileDigest, make_digest
 from .interfaces import GossipPeer

@@ -8,12 +8,19 @@ answers two questions cheaply:
 * "has this user's profile changed since I last looked?" -- via the version
   counter, which avoids re-exchanging unchanged profiles (Algorithm 1,
   lines 4-6).
+
+Digest probes ride the bit-packed-integer :class:`repro.bloom.BloomFilter`:
+membership is one C-level big-int ``AND`` against the key's cached probe
+mask, with masks and hash bases memoized process-wide and shared between
+digest construction and probing (see ``docs/ARCHITECTURE.md``).  ``common_items_with`` exposes
+the one-pass "which of my items might she have?" probe that step 2 of the
+lazy exchange is built on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Set
 
 from ..bloom import PAPER_DIGEST_BITS, BloomFilter
 from ..data.models import UserProfile
@@ -34,6 +41,16 @@ class ProfileDigest:
     def shares_item_with(self, items: Iterable[int]) -> bool:
         """True if the digest (probably) contains any of ``items``."""
         return self.bloom.intersects(items)
+
+    def common_items_with(self, items: Iterable[int]) -> Set[int]:
+        """The subset of ``items`` the digest (probably) contains.
+
+        This is the candidate common-item set of step 2 of the lazy exchange:
+        a superset of the true common items (Bloom false positives included,
+        false negatives impossible).
+        """
+        bloom = self.bloom
+        return {item for item in items if item in bloom}
 
     @property
     def size_in_bytes(self) -> int:

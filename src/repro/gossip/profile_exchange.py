@@ -19,6 +19,13 @@ exchange:
 The same integration routine is reused by the eager mode ("maintain personal
 network as in lazy mode", Algorithm 3 lines 12 and 24), so query gossip
 doubles as a freshness wave for the personal networks it touches.
+
+This module sits on the hot path of every lazy cycle.  It leans on the
+performance layer described in ``docs/ARCHITECTURE.md``: the receiver's item
+and action views (``profile.items`` / ``profile.actions``) are per-version
+cached frozensets, digest probes hit the bit-packed Bloom filter through the
+shared hash-base cache, and similarity scores are C-level set intersections
+(:func:`repro.similarity.metrics.overlap_score_from_actions`).
 """
 
 from __future__ import annotations
@@ -121,6 +128,9 @@ class LazyExchangeProtocol:
         own_actions = receiver.profile.actions
 
         candidates: List[ProfileDigest] = []
+        #: user_id -> common items found at the step-1 gate, reused in step 2
+        #: so the digest is probed only once per exchange.
+        common_by_user: Dict[int, Set[int]] = {}
         for digest in digests:
             if digest.user_id == receiver.node_id:
                 continue
@@ -131,9 +141,12 @@ class LazyExchangeProtocol:
                     continue
                 candidates.append(digest)
                 continue
-            if self.three_step and not digest.shares_item_with(own_items):
-                # No common item: cannot have a positive score, drop.
-                continue
+            if self.three_step:
+                common = digest.common_items_with(own_items)
+                if not common:
+                    # No common item: cannot have a positive score, drop.
+                    continue
+                common_by_user[digest.user_id] = common
             candidates.append(digest)
 
         updated: List[int] = []
@@ -159,7 +172,9 @@ class LazyExchangeProtocol:
                 continue
 
             # Step 2: pull only the actions on common items to score exactly.
-            common_items = {item for item in own_items if digest.might_contain_item(item)}
+            common_items = common_by_user.get(digest.user_id)
+            if common_items is None:  # known-but-changed neighbour, not gated
+                common_items = digest.common_items_with(own_items)
             actions = provider.actions_for_items_of(digest.user_id, common_items)
             if actions is None:
                 continue
@@ -220,6 +235,8 @@ class LazyExchangeProtocol:
             if digest.user_id in peer.personal_network:
                 continue
             if self.three_step and not digest.shares_item_with(own_items):
+                # Cheap early-exit gate: the full common-item set is only
+                # computed after the subject turned out to be reachable.
                 continue
             subject = network.try_contact(digest.user_id)
             if subject is None or not isinstance(subject, GossipPeer):
@@ -243,7 +260,7 @@ class LazyExchangeProtocol:
                     added.append(digest.user_id)
                     peer.personal_network.store_profile(digest.user_id, profile)
                 continue
-            common_items = {item for item in own_items if digest.might_contain_item(item)}
+            common_items = digest.common_items_with(own_items)
             actions = subject.actions_for_items_of(digest.user_id, common_items)
             if actions is None:
                 continue

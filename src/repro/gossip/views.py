@@ -8,6 +8,12 @@ Every P3Q user maintains (Figure 1 of the paper):
   replica of the neighbour's profile;
 * a **random view** of ``r`` users picked uniformly at random from the whole
   system, maintained by the peer-sampling layer, each with a profile digest.
+
+Both views hold :class:`~repro.gossip.digest.ProfileDigest` snapshots backed
+by the bit-packed Bloom filter, and stored replicas are
+:class:`~repro.data.models.UserProfile` copies that carry their interned
+indexes with them -- so view maintenance and query scoring stay on the fast
+paths described in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations

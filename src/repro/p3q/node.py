@@ -14,6 +14,12 @@ A :class:`P3QNode` combines
 The node satisfies both the simulator's :class:`~repro.simulator.node.Node`
 interface and the gossip layer's :class:`~repro.gossip.interfaces.GossipPeer`
 protocol.
+
+Everything hot a node does rides the performance layer documented in
+``docs/ARCHITECTURE.md``: its own digest is version-cached
+(:class:`~repro.gossip.digest.DigestProvider`), digest probes hit the
+bit-packed Bloom filter, and query/similarity scoring runs on the profile's
+interned indexes.
 """
 
 from __future__ import annotations

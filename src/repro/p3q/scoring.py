@@ -13,6 +13,11 @@ For a query ``Q = {u_i, t_1..t_n}``:
 
 Any monotonic aggregation could replace the sum without touching the rest of
 the protocol; the sum is what the paper evaluates.
+
+Scoring walks the profile's maintained tag -> items index
+(``UserProfile.items_for_tag``) instead of scanning every tagging action:
+a query carries a handful of tags, while paper-scale profiles hold hundreds
+of actions, so the index walk touches only the actions that can contribute.
 """
 
 from __future__ import annotations
@@ -32,12 +37,11 @@ def item_score_for_user(profile: UserProfile, query: Query, item: int) -> int:
 
 def user_score_map(profile: UserProfile, query: Query) -> Dict[int, int]:
     """All items of ``profile`` with a positive score for ``query``."""
-    query_tags = set(query.tags)
-    scores: Dict[int, int] = defaultdict(int)
-    for item, tag in profile:
-        if tag in query_tags:
-            scores[item] += 1
-    return dict(scores)
+    scores: Dict[int, int] = {}
+    for tag in set(query.tags):
+        for item in profile.items_for_tag(tag):
+            scores[item] = scores.get(item, 0) + 1
+    return scores
 
 
 def partial_scores(profiles: Iterable[UserProfile], query: Query) -> Dict[int, float]:

@@ -1,4 +1,10 @@
-"""Profile similarity metrics and exact (offline) nearest-neighbour indexes."""
+"""Profile similarity metrics and exact (offline) nearest-neighbour indexes.
+
+All metrics score on interned profile views (dense action-id sets cached per
+profile version) -- see :mod:`repro.data.interning` and
+``docs/ARCHITECTURE.md`` for the design, and
+``tests/test_similarity_interning.py`` for the equivalence guarantees.
+"""
 
 from .metrics import (
     SIMILARITY_METRICS,

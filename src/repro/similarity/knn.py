@@ -9,7 +9,10 @@ A brute-force all-pairs intersection is O(|U|^2) profile intersections; to
 keep paper-like scales reachable, the computation goes through an inverted
 index from tagging action to users, so only user pairs that actually share
 at least one action are ever scored (the score of every other pair is zero
-and never qualifies as a positive-score neighbour).
+and never qualifies as a positive-score neighbour).  The index is keyed by
+*interned* action ids (:mod:`repro.data.interning`): hashing a small int per
+posting instead of an ``(item, tag)`` tuple keeps the index build cheap at
+paper scale.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..data.models import Dataset, TaggingAction
+from ..data.models import Dataset
 from .metrics import SimilarityFunction, overlap_score
 
 
@@ -39,10 +42,11 @@ def pairwise_overlap_counts(dataset: Dataset) -> Dict[Tuple[int, int], int]:
     Keys are ``(min_id, max_id)`` pairs.  Pairs with zero common actions are
     absent.
     """
-    action_to_users: Dict[TaggingAction, List[int]] = defaultdict(list)
+    action_to_users: Dict[int, List[int]] = defaultdict(list)
     for profile in dataset.profiles():
-        for action in profile:
-            action_to_users[action].append(profile.user_id)
+        user_id = profile.user_id
+        for action_id in profile.action_ids:
+            action_to_users[action_id].append(user_id)
     counts: Dict[Tuple[int, int], int] = defaultdict(int)
     for users in action_to_users.values():
         if len(users) < 2:

@@ -9,12 +9,21 @@ The score takes both topic (tag) and object (item) preferences into account.
 P3Q itself is independent of the metric ("this distance is
 application-specific"), so the module also provides Jaccard and cosine
 variants that plug into the same protocol machinery.
+
+Scoring is one of the two hottest paths of the simulator (the other is the
+Bloom digest probe), so every metric runs on the *interned* profile views:
+``UserProfile.action_ids`` / ``UserProfile.items`` are per-version cached
+frozensets of small ints (see :mod:`repro.data.interning` and
+``docs/ARCHITECTURE.md``), and each score is a single C-level set
+intersection instead of a Python-loop over tuple sets.  The observable
+scores are identical to the naive tuple-set definition; the equivalence is
+property-tested in ``tests/test_similarity_interning.py``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, FrozenSet, Protocol, Set
+from typing import AbstractSet, Callable, Dict, FrozenSet
 
 from ..data.models import TaggingAction, UserProfile
 
@@ -23,23 +32,19 @@ from ..data.models import TaggingAction, UserProfile
 SimilarityFunction = Callable[[UserProfile, UserProfile], float]
 
 
-def common_actions(a: UserProfile, b: UserProfile) -> Set[TaggingAction]:
+def common_actions(a: UserProfile, b: UserProfile) -> FrozenSet[TaggingAction]:
     """The intersection of two profiles' tagging-action sets."""
-    actions_a = a.actions
-    actions_b = b.actions
-    if len(actions_a) > len(actions_b):
-        actions_a, actions_b = actions_b, actions_a
-    return {action for action in actions_a if action in actions_b}
+    return a.actions & b.actions
 
 
 def overlap_score(a: UserProfile, b: UserProfile) -> float:
     """The paper's metric: number of common tagging actions."""
-    return float(len(common_actions(a, b)))
+    return float(len(a.action_ids & b.action_ids))
 
 
 def overlap_score_from_actions(
-    local_actions: FrozenSet[TaggingAction] | Set[TaggingAction],
-    remote_actions: FrozenSet[TaggingAction] | Set[TaggingAction],
+    local_actions: AbstractSet[TaggingAction],
+    remote_actions: AbstractSet[TaggingAction],
 ) -> float:
     """Overlap computed from raw action sets.
 
@@ -48,14 +53,16 @@ def overlap_score_from_actions(
     with the local actions yields exactly the same score as intersecting full
     profiles would.
     """
-    if len(local_actions) > len(remote_actions):
-        local_actions, remote_actions = remote_actions, local_actions
-    return float(sum(1 for action in local_actions if action in remote_actions))
+    if not isinstance(local_actions, (set, frozenset)):
+        local_actions = set(local_actions)
+    if not isinstance(remote_actions, (set, frozenset)):
+        remote_actions = set(remote_actions)
+    return float(len(local_actions & remote_actions))
 
 
 def jaccard_score(a: UserProfile, b: UserProfile) -> float:
     """|A ∩ B| / |A ∪ B| over tagging actions (alternative metric)."""
-    inter = len(common_actions(a, b))
+    inter = len(a.action_ids & b.action_ids)
     union = len(a) + len(b) - inter
     return inter / union if union else 0.0
 
@@ -64,17 +71,13 @@ def cosine_score(a: UserProfile, b: UserProfile) -> float:
     """Cosine similarity over binary tagging-action vectors."""
     if len(a) == 0 or len(b) == 0:
         return 0.0
-    inter = len(common_actions(a, b))
+    inter = len(a.action_ids & b.action_ids)
     return inter / math.sqrt(len(a) * len(b))
 
 
 def item_overlap_score(a: UserProfile, b: UserProfile) -> float:
     """Number of common *items* (the digest-level approximation)."""
-    items_a = a.items
-    items_b = b.items
-    if len(items_a) > len(items_b):
-        items_a, items_b = items_b, items_a
-    return float(sum(1 for item in items_a if item in items_b))
+    return float(len(a.items & b.items))
 
 
 #: Registry of named metrics so experiments/configs can select one by name.

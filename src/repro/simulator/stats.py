@@ -23,9 +23,14 @@ KIND_REMAINING_RETURN = "remaining_list_return"
 KIND_PARTIAL_RESULT = "partial_result"
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficRecord:
-    """One accounted transmission."""
+    """One accounted transmission.
+
+    Slotted: one record is allocated per simulated message, so at large
+    network sizes the per-instance ``__dict__`` of a plain dataclass costs
+    real memory and allocation time.
+    """
 
     cycle: int
     sender: int
