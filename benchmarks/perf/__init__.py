@@ -5,6 +5,7 @@ Usage (from the repository root)::
     python -m benchmarks.perf                 # full run, writes BENCH_p3q.json
     python -m benchmarks.perf --quick         # CI smoke run on a tiny network
     python -m benchmarks.perf --validate BENCH_p3q.json
+    python -m benchmarks.perf --compare /tmp/BENCH_now.json --against BENCH_p3q.json
 
 The harness measures the two hot paths the performance layer optimizes --
 Bloom-digest operations and similarity scoring -- against their seed
@@ -30,6 +31,7 @@ from .harness import (  # noqa: E402
     bench_digest,
     bench_macro,
     bench_similarity,
+    compare_reports,
     main,
     run_suite,
     validate_report,
@@ -42,6 +44,7 @@ __all__ = [
     "bench_digest",
     "bench_macro",
     "bench_similarity",
+    "compare_reports",
     "main",
     "run_suite",
     "validate_report",

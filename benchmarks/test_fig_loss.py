@@ -1,0 +1,31 @@
+"""Loss sweep: query processing under per-message packet loss (beyond paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import DEFAULT_LOSS_RATES, run_loss_sweep
+
+from conftest import run_once, save_report
+
+
+def test_fig_loss(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_loss_sweep,
+        scale,
+        loss_rates=DEFAULT_LOSS_RATES,
+        cycles=12,
+        workload=workload,
+    )
+    save_report(result.render())
+    # A lossless sweep point reproduces the direct-transport behaviour:
+    # recall converges to (almost) 1 over the eager horizon.
+    assert result.final_recall(0.0) > 0.99
+    # Loss degrades recall: the heaviest loss level cannot beat the lossless
+    # run, and strands a growing fraction of queries below full recall
+    # (a dropped return loses its alpha share for good).
+    assert result.final_recall(0.4) < result.final_recall(0.0)
+    assert result.incomplete_queries[0.4] >= result.incomplete_queries[0.0]
+    # Bandwidth stays in a sane band: loss trades bytes both ways (dropped
+    # forwards are retried, but lost alpha shares remove future work), so
+    # the per-query cost is positive and same-order as the lossless run.
+    assert 0 < result.avg_query_bytes[0.4] <= 2 * result.avg_query_bytes[0.0]

@@ -20,7 +20,7 @@ benchmarks can put P3Q's numbers next to them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..data.models import Dataset
 from ..data.queries import Query

@@ -20,7 +20,7 @@ import gzip
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from .models import Dataset, UserProfile
 

@@ -8,7 +8,15 @@ from .scenarios import (
     storage_level_probabilities,
     uniform_storage_distribution,
 )
-from .runner import PreparedWorkload, build_config, converged_simulation, prepare_workload
+from .runner import (
+    ExperimentRun,
+    PreparedWorkload,
+    build_config,
+    converged_simulation,
+    prepare_workload,
+    run_experiment_by_name,
+    run_experiments_parallel,
+)
 from .report import format_series, format_table
 from .table1_distribution import Table1Result, run_table1
 from .fig2_convergence import ConvergenceResult, run_convergence
@@ -22,6 +30,7 @@ from .fig8_reach import ReachResult, run_users_reached
 from .fig9_aur_eager import AurEagerResult, run_aur_eager
 from .fig10_network_update import NetworkUpdateResult, run_network_update
 from .fig11_churn import PAPER_DEPARTURES, ChurnResult, run_churn
+from .fig_loss import DEFAULT_LOSS_RATES, LossSweepResult, run_loss_sweep
 from .analysis_alpha import AlphaAnalysisResult, run_alpha_analysis
 from .ablations import (
     ExchangeAblationResult,
@@ -40,8 +49,11 @@ __all__ = [
     "BandwidthResult",
     "ChurnResult",
     "ConvergenceResult",
+    "DEFAULT_LOSS_RATES",
     "ExchangeAblationResult",
+    "ExperimentRun",
     "ExperimentScale",
+    "LossSweepResult",
     "NetworkUpdateResult",
     "PAPER_ALPHAS",
     "PAPER_DEPARTURES",
@@ -67,6 +79,9 @@ __all__ = [
     "run_churn",
     "run_convergence",
     "run_exchange_ablation",
+    "run_experiment_by_name",
+    "run_experiments_parallel",
+    "run_loss_sweep",
     "run_network_update",
     "run_query_bandwidth",
     "run_random_view_ablation",

@@ -10,10 +10,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..p3q.analysis import (
-    alpha_sweep,
     cycles_to_complete,
     max_partial_results,
     max_remaining_list_messages,

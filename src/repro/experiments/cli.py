@@ -6,9 +6,14 @@ Examples::
     python -m repro.experiments.cli fig2 fig4
     python -m repro.experiments.cli table1 --scale tiny
     python -m repro.experiments.cli all --scale small --output results/
+    python -m repro.experiments.cli all --workers 4
+    python -m repro.experiments.cli fig-loss
 
 Each experiment prints its rows/series as an aligned text table and, with
-``--output``, also writes it to ``<output>/<experiment>.txt``.
+``--output``, also writes it to ``<output>/<experiment>.txt``.  With
+``--workers N`` independent experiments fan out over N processes (each
+worker rebuilds its seeded workload, so the reports are byte-identical to a
+serial run).
 """
 
 from __future__ import annotations
@@ -17,10 +22,10 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from .scenarios import ExperimentScale
-from .runner import PreparedWorkload, prepare_workload
+from .runner import PreparedWorkload, prepare_workload, run_experiments_parallel
 from . import (
     run_alpha_analysis,
     run_alpha_recall,
@@ -29,6 +34,7 @@ from . import (
     run_churn,
     run_convergence,
     run_exchange_ablation,
+    run_loss_sweep,
     run_network_update,
     run_query_bandwidth,
     run_random_view_ablation,
@@ -103,6 +109,11 @@ EXPERIMENTS: Dict[str, tuple] = {
         True,
         lambda scale, w: run_churn(scale, cycles=10, workload=w),
     ),
+    "fig-loss": (
+        "Loss sweep: recall and bandwidth under per-message packet loss",
+        True,
+        lambda scale, w: run_loss_sweep(scale, cycles=12, workload=w),
+    ),
     "analysis": (
         "Section 2.4: R(alpha) closed form and bounds",
         False,
@@ -126,7 +137,7 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-def _resolve_scale(name: str) -> ExperimentScale:
+def resolve_scale(name: str) -> ExperimentScale:
     if name == "tiny":
         return ExperimentScale.tiny()
     if name == "paper":
@@ -157,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory where each experiment's report is also written",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent experiments in N parallel processes (default: 1)",
+    )
     return parser
 
 
@@ -178,7 +196,16 @@ def main(argv: Optional[list] = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
-    scale = _resolve_scale(args.scale)
+    if args.workers < 1:
+        parser.error("--workers must be positive")
+
+    if args.workers > 1:
+        runs = run_experiments_parallel(names, scale_name=args.scale, workers=args.workers)
+        for run in runs:
+            _emit(run.description, run.elapsed_seconds, run.report, run.name, args.output)
+        return 0
+
+    scale = resolve_scale(args.scale)
     workload: Optional[PreparedWorkload] = None
     if any(EXPERIMENTS[name][1] for name in names):
         workload = prepare_workload(scale)
@@ -188,13 +215,16 @@ def main(argv: Optional[list] = None) -> int:
         start = time.time()
         result = runner(scale, workload if needs_workload else None)
         elapsed = time.time() - start
-        report = result.render()
-        print(f"\n# {description}  [{elapsed:.1f}s]")
-        print(report)
-        if args.output is not None:
-            args.output.mkdir(parents=True, exist_ok=True)
-            (args.output / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+        _emit(description, elapsed, result.render(), name, args.output)
     return 0
+
+
+def _emit(description: str, elapsed: float, report: str, name: str, output: Optional[Path]) -> None:
+    print(f"\n# {description}  [{elapsed:.1f}s]")
+    print(report)
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+        (output / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through main() in tests

@@ -11,7 +11,7 @@ refreshed quickly (>95% within 30 cycles for c = 10/20), large budgets lag
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..data.dynamics import DynamicsConfig, ProfileDynamicsGenerator
 from ..metrics.freshness import average_update_rate

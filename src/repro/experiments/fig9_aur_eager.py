@@ -13,7 +13,7 @@ propagated by the lazy mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Set
 
 from ..data.dynamics import DynamicsConfig, ProfileDynamicsGenerator
 from ..data.queries import QueryWorkloadGenerator

@@ -1,8 +1,16 @@
-"""Shared helpers for the per-figure experiment runners."""
+"""Shared helpers for the per-figure experiment runners.
+
+Besides the workload/simulation builders this module hosts the **parallel
+scenario runner**: :func:`run_experiments_parallel` fans independent
+experiments out over a pool of worker processes (``--workers`` on the CLI).
+Each worker rebuilds its own workload from the scale's seed, so results are
+byte-identical to a serial run while wall-clock time scales with cores.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines.centralized import CentralizedTopK
@@ -81,12 +89,15 @@ def converged_simulation(
     seed: Optional[int] = None,
     account_traffic: bool = True,
     three_step_exchange: bool = True,
+    config_overrides: Optional[Mapping[str, object]] = None,
 ) -> P3QSimulation:
     """A warm-started simulation (personal networks already converged).
 
     The dataset is copied so that experiments mutating profiles (dynamics)
     or taking nodes offline (churn) never leak state into the shared
-    workload.
+    workload.  ``config_overrides`` patches arbitrary :class:`P3QConfig`
+    fields (e.g. ``{"transport": "lossy", "loss_rate": 0.2}`` for the loss
+    sweep) on top of the scale-derived configuration.
     """
     config = build_config(
         workload.scale,
@@ -96,6 +107,8 @@ def converged_simulation(
         account_traffic=account_traffic,
         three_step_exchange=three_step_exchange,
     )
+    if config_overrides:
+        config = replace(config, **config_overrides)
     simulation = P3QSimulation(workload.dataset.copy(), config)
     simulation.warm_start(ideal=None if _dataset_mutated(workload) else workload.ideal)
     simulation.bootstrap_random_views()
@@ -118,3 +131,69 @@ def recall_series_from_snapshots(
     from ..metrics.recall import recall_per_cycle
 
     return recall_per_cycle(snapshots_by_query, references, cycles)
+
+
+# ---------------------------------------------------------------- parallelism
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of one experiment executed by the scenario runner."""
+
+    name: str
+    description: str
+    report: str
+    elapsed_seconds: float
+
+
+def run_experiment_by_name(name: str, scale_name: str = "small") -> ExperimentRun:
+    """Execute one registered experiment end to end (worker entry point).
+
+    Registered experiments live in :data:`repro.experiments.cli.EXPERIMENTS`;
+    the worker rebuilds its own workload (experiments are seeded, so every
+    process derives an identical one) and renders the report text.  Module
+    level and picklable by name, as ``multiprocessing`` requires.
+    """
+    from .cli import EXPERIMENTS, resolve_scale
+
+    description, needs_workload, runner = EXPERIMENTS[name]
+    scale = resolve_scale(scale_name)
+    workload = prepare_workload(scale) if needs_workload else None
+    start = time.perf_counter()
+    result = runner(scale, workload)
+    elapsed = time.perf_counter() - start
+    return ExperimentRun(
+        name=name,
+        description=description,
+        report=result.render(),
+        elapsed_seconds=elapsed,
+    )
+
+
+def _run_experiment_args(args: Tuple[str, str]) -> ExperimentRun:
+    return run_experiment_by_name(*args)
+
+
+def run_experiments_parallel(
+    names: Sequence[str],
+    scale_name: str = "small",
+    workers: int = 2,
+) -> List[ExperimentRun]:
+    """Fan experiments out over ``workers`` processes; results in input order.
+
+    Every scenario runs in its own process (full isolation: interning tables,
+    Bloom caches and RNG streams are rebuilt from the scale's seed), so the
+    reports are byte-identical to a serial run.  With one worker or a single
+    experiment the pool is skipped entirely.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if workers == 1 or len(names) <= 1:
+        return [run_experiment_by_name(name, scale_name) for name in names]
+
+    import multiprocessing
+
+    jobs = [(name, scale_name) for name in names]
+    processes = min(workers, len(jobs))
+    with multiprocessing.Pool(processes=processes) as pool:
+        return pool.map(_run_experiment_args, jobs)

@@ -9,7 +9,7 @@ budgets to a concrete user population.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from .report import format_table

@@ -10,7 +10,7 @@ and maximum number of replicas to refresh keep growing with c.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..data.dynamics import DynamicsConfig, ProfileDynamicsGenerator
 from ..metrics.freshness import profiles_to_update

@@ -16,17 +16,26 @@ from .digest import ProfileDigest
 from .views import PersonalNetwork, RandomView
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..simulator.network import Network
+    from ..simulator.transport import Envelope, Message
 
 
 @runtime_checkable
 class GossipPeer(Protocol):
-    """What a node must expose to participate in P3Q gossip."""
+    """What a node must expose to participate in P3Q gossip.
+
+    Peers are addressable on the wire: the transport delivers every message
+    to :meth:`handle_message`, and a node without that method is simply
+    unreachable (the seed's ``isinstance(node, GossipPeer)`` guard, moved to
+    the transport's resolution step).
+    """
 
     node_id: int
     profile: UserProfile
     personal_network: PersonalNetwork
     random_view: RandomView
+
+    def handle_message(self, envelope: "Envelope") -> Optional["Message"]:
+        """Process one delivered transport message; return the reply, if any."""
 
     @property
     def rng(self) -> random.Random:

@@ -2,23 +2,34 @@
 
 The top layer of the lazy gossip tracks similarity between profiles and
 discovers new neighbours.  Its key cost-saving device is the 3-step
-exchange:
+exchange, now carried by explicit transport messages:
 
-1. **Digests** -- the partners exchange Bloom-filter digests of (a sample
-   of) the profiles they store.  A digest that describes an unchanged,
-   already-known profile, or a user sharing no item with the receiver, is
-   dropped immediately.
-2. **Common items** -- for the remaining candidates, the receiver asks the
-   *sender* (who stores those profiles) for the tagging actions restricted
-   to the items the receiver also tagged, which is exactly the information
-   needed to compute the similarity score.
+1. **Digests** -- the partners swap
+   :class:`~repro.simulator.transport.DigestAdvertisement` messages carrying
+   Bloom-filter digests of (a sample of) the profiles they store.  A digest
+   that describes an unchanged, already-known profile, or a user sharing no
+   item with the receiver, is dropped immediately.
+2. **Common items** -- for the remaining candidates, the receiver sends the
+   *provider* (who stores those profiles) a
+   :class:`~repro.simulator.transport.CommonItemsRequest` for the tagging
+   actions restricted to the items the receiver also tagged, which is
+   exactly the information needed to compute the similarity score.
 3. **Full profiles** -- only the candidates that enter the receiver's top-c
    (and therefore must be stored locally) have their complete profiles
-   transferred.
+   transferred (:class:`~repro.simulator.transport.FullProfileRequest` /
+   :class:`~repro.simulator.transport.FullProfilePush`).
 
 The same integration routine is reused by the eager mode ("maintain personal
 network as in lazy mode", Algorithm 3 lines 12 and 24), so query gossip
 doubles as a freshness wave for the personal networks it touches.
+
+All byte accounting happens inside the transport (one hook pricing every
+message through :func:`repro.gossip.sizes.total_bytes`); this module never
+touches the stats collector.  The steps 2 and 3 sub-requests are synchronous
+control round-trips in every transport -- a lossy transport may drop them
+(the candidate is simply skipped, like an unavailable provider), but a
+latency transport only delays the *top-level* advertisement, never the
+sub-requests of an exchange already being processed.
 
 This module sits on the hot path of every lazy cycle.  It leans on the
 performance layer described in ``docs/ARCHITECTURE.md``: the receiver's item
@@ -32,13 +43,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..data.models import TaggingAction
+from ..data.models import TaggingAction, UserProfile
 from ..similarity.metrics import overlap_score_from_actions
 from ..simulator.network import Network
-from ..simulator.stats import KIND_COMMON_ITEMS, KIND_DIGESTS, KIND_FULL_PROFILES
+from ..simulator.transport import (
+    VIEW_PERSONAL,
+    CommonItemsRequest,
+    DigestAdvertisement,
+    Envelope,
+    FullProfileRequest,
+)
 from .digest import ProfileDigest
-from .interfaces import GossipPeer
-from .sizes import digest_message_size, tagging_actions_size
 
 #: Default number of stored-profile digests advertised per gossip message
 #: (the paper exchanges at most 50 profiles per cycle).
@@ -68,7 +83,7 @@ class LazyExchangeProtocol:
 
     # -- cycle entry points ---------------------------------------------------
 
-    def run_cycle(self, initiator: GossipPeer, network: Network) -> Optional[int]:
+    def run_cycle(self, initiator, network: Network) -> Optional[int]:
         """One lazy top-layer cycle for ``initiator``.
 
         Selects the personal-network neighbour with the oldest timestamp
@@ -85,41 +100,112 @@ class LazyExchangeProtocol:
             return None
         if partner_id in initiator.personal_network:
             initiator.personal_network.mark_gossiped(partner_id)
-        partner = network.try_contact(partner_id)
-        if partner is None or not isinstance(partner, GossipPeer):
+        # Reachability check BEFORE sampling: stored_digest_sample consumes
+        # the initiator's RNG stream, and an unreachable partner must not
+        # consume it (seed ordering; the transport re-checks on delivery).
+        if network.try_contact(partner_id) is None:
             # Partner departed: the cycle's slot is lost, but the random view
             # is still a source of fresh candidates.
             self.refresh_from_random_view(initiator, network)
             return None
-        self.exchange(initiator, partner, network)
+        exchanged = self.exchange(initiator, partner_id, network)
         self.refresh_from_random_view(initiator, network)
-        return partner_id
+        return partner_id if exchanged else None
 
-    def exchange(self, initiator: GossipPeer, partner: GossipPeer, network: Network) -> None:
-        """Symmetric digest/profile exchange between two online peers."""
-        sent = initiator.stored_digest_sample(self.exchange_size)
-        received = partner.stored_digest_sample(self.exchange_size)
-        if self.account_traffic:
-            network.account(
-                initiator.node_id, partner.node_id, KIND_DIGESTS, digest_message_size(len(sent))
-            )
-            network.account(
-                partner.node_id, initiator.node_id, KIND_DIGESTS, digest_message_size(len(received))
-            )
-        self.integrate(partner, initiator, sent, network)
-        self.integrate(initiator, partner, received, network)
+    def exchange(self, initiator, partner_id: int, network: Network) -> bool:
+        """Symmetric digest/profile exchange between two online peers.
+
+        Returns ``True`` when the exchange was delivered (or deferred by a
+        latency transport -- it will complete when the queue drains), and
+        ``False`` when the advertisement was lost.
+        """
+        sent = tuple(initiator.stored_digest_sample(self.exchange_size))
+        dispatch = network.transport.request(
+            initiator.node_id,
+            partner_id,
+            DigestAdvertisement(digests=sent, view=VIEW_PERSONAL),
+            account=self.account_traffic,
+        )
+        if dispatch.reply is not None:
+            self.integrate(initiator, partner_id, dispatch.reply.digests, network)
+            return True
+        return dispatch.deferred
+
+    # -- receiving side -------------------------------------------------------
+
+    def handle_advertisement(self, receiver, envelope: Envelope) -> Optional[DigestAdvertisement]:
+        """Process an incoming lazy advertisement; reply with ours when asked.
+
+        The reply sample is drawn *before* integration, matching the seed's
+        order (both samples were taken before either side integrated).
+        """
+        reply: Optional[DigestAdvertisement] = None
+        if envelope.expects_reply:
+            digests = tuple(receiver.stored_digest_sample(self.exchange_size))
+            reply = DigestAdvertisement(digests=digests, view=VIEW_PERSONAL)
+        self.integrate(
+            receiver,
+            envelope.sender,
+            envelope.message.digests,
+            receiver.network,
+            query_id=envelope.query_id,
+        )
+        return reply
+
+    # -- transport round-trips ------------------------------------------------
+
+    def _fetch_common_actions(
+        self,
+        receiver,
+        provider_id: int,
+        subject_id: int,
+        items: Set[int],
+        network: Network,
+        query_id: Optional[int] = None,
+    ) -> Optional[Set[TaggingAction]]:
+        """Step-2 round-trip: the subject's actions on the common items.
+
+        ``items`` is handed to the message as-is (no defensive copy: this is
+        the hot path and every handler treats message payloads as read-only).
+        """
+        dispatch = network.transport.request(
+            receiver.node_id,
+            provider_id,
+            CommonItemsRequest(subject_id=subject_id, items=items),
+            query_id=query_id,
+            account=self.account_traffic,
+        )
+        return dispatch.reply.actions if dispatch.reply is not None else None
+
+    def _fetch_profile(
+        self,
+        receiver,
+        provider_id: int,
+        subject_id: int,
+        network: Network,
+        query_id: Optional[int] = None,
+    ) -> Optional[UserProfile]:
+        """Step-3 round-trip: a full profile replica from its holder."""
+        dispatch = network.transport.request(
+            receiver.node_id,
+            provider_id,
+            FullProfileRequest(subject_id=subject_id),
+            query_id=query_id,
+            account=self.account_traffic,
+        )
+        return dispatch.reply.profile if dispatch.reply is not None else None
 
     # -- Algorithm 1 ----------------------------------------------------------
 
     def integrate(
         self,
-        receiver: GossipPeer,
-        provider: GossipPeer,
+        receiver,
+        provider_id: int,
         digests: Iterable[ProfileDigest],
         network: Network,
         query_id: Optional[int] = None,
     ) -> List[int]:
-        """Process digests received from ``provider`` (Algorithm 1).
+        """Process digests received from the provider (Algorithm 1).
 
         Returns the list of user ids that were added to / refreshed in the
         receiver's personal network.
@@ -153,17 +239,11 @@ class LazyExchangeProtocol:
         fetched_profiles: Set[int] = set()
         for digest in candidates:
             if not self.three_step:
-                profile = provider.full_profile_of(digest.user_id)
+                profile = self._fetch_profile(
+                    receiver, provider_id, digest.user_id, network, query_id
+                )
                 if profile is None:
                     continue
-                if self.account_traffic:
-                    network.account(
-                        provider.node_id,
-                        receiver.node_id,
-                        KIND_FULL_PROFILES,
-                        tagging_actions_size(len(profile)),
-                        query_id=query_id,
-                    )
                 score = overlap_score_from_actions(own_actions, profile.actions)
                 if receiver.personal_network.consider(digest.user_id, score, digest):
                     receiver.personal_network.store_profile(digest.user_id, profile)
@@ -175,17 +255,11 @@ class LazyExchangeProtocol:
             common_items = common_by_user.get(digest.user_id)
             if common_items is None:  # known-but-changed neighbour, not gated
                 common_items = digest.common_items_with(own_items)
-            actions = provider.actions_for_items_of(digest.user_id, common_items)
+            actions = self._fetch_common_actions(
+                receiver, provider_id, digest.user_id, common_items, network, query_id
+            )
             if actions is None:
                 continue
-            if self.account_traffic:
-                network.account(
-                    provider.node_id,
-                    receiver.node_id,
-                    KIND_COMMON_ITEMS,
-                    tagging_actions_size(len(actions)),
-                    query_id=query_id,
-                )
             score = overlap_score_from_actions(own_actions, actions)
             if score <= 0:
                 # A Bloom false positive: no real common action after all.
@@ -199,23 +273,17 @@ class LazyExchangeProtocol:
             for user_id in sorted(wanted):
                 if user_id in fetched_profiles:
                     continue
-                profile = provider.full_profile_of(user_id)
+                profile = self._fetch_profile(
+                    receiver, provider_id, user_id, network, query_id
+                )
                 if profile is None:
                     continue
-                if self.account_traffic:
-                    network.account(
-                        provider.node_id,
-                        receiver.node_id,
-                        KIND_FULL_PROFILES,
-                        tagging_actions_size(len(profile)),
-                        query_id=query_id,
-                    )
                 receiver.personal_network.store_profile(user_id, profile)
         return updated
 
     # -- random-view candidates -----------------------------------------------
 
-    def refresh_from_random_view(self, peer: GossipPeer, network: Network) -> List[int]:
+    def refresh_from_random_view(self, peer, network: Network) -> List[int]:
         """Score random-view members that might share an item (Section 2.2.1).
 
         The profile of a random-view member ``v`` is obtained by contacting
@@ -238,53 +306,40 @@ class LazyExchangeProtocol:
                 # Cheap early-exit gate: the full common-item set is only
                 # computed after the subject turned out to be reachable.
                 continue
-            subject = network.try_contact(digest.user_id)
-            if subject is None or not isinstance(subject, GossipPeer):
+            subject_id = digest.user_id
+            if network.try_contact(subject_id) is None:
                 continue
             if not self.three_step:
                 # Ablation variant: fetch the whole profile straight away.
-                profile = subject.full_profile_of(digest.user_id)
+                profile = self._fetch_profile(peer, subject_id, subject_id, network)
                 if profile is None:
                     continue
-                if self.account_traffic:
-                    network.account(
-                        subject.node_id,
-                        peer.node_id,
-                        KIND_FULL_PROFILES,
-                        tagging_actions_size(len(profile)),
-                    )
                 score = overlap_score_from_actions(own_actions, profile.actions)
                 if score > 0 and peer.personal_network.consider(
-                    digest.user_id, score, subject.own_digest()
+                    subject_id, score, self._subject_digest(network, subject_id)
                 ):
-                    added.append(digest.user_id)
-                    peer.personal_network.store_profile(digest.user_id, profile)
+                    added.append(subject_id)
+                    peer.personal_network.store_profile(subject_id, profile)
                 continue
             common_items = digest.common_items_with(own_items)
-            actions = subject.actions_for_items_of(digest.user_id, common_items)
+            actions = self._fetch_common_actions(
+                peer, subject_id, subject_id, common_items, network
+            )
             if actions is None:
                 continue
-            if self.account_traffic:
-                network.account(
-                    subject.node_id,
-                    peer.node_id,
-                    KIND_COMMON_ITEMS,
-                    tagging_actions_size(len(actions)),
-                )
             score = overlap_score_from_actions(own_actions, actions)
             if score <= 0:
                 continue
-            if peer.personal_network.consider(digest.user_id, score, subject.own_digest()):
-                added.append(digest.user_id)
-                if digest.user_id in peer.personal_network.profiles_wanted():
-                    profile = subject.full_profile_of(digest.user_id)
+            if peer.personal_network.consider(
+                subject_id, score, self._subject_digest(network, subject_id)
+            ):
+                added.append(subject_id)
+                if subject_id in peer.personal_network.profiles_wanted():
+                    profile = self._fetch_profile(peer, subject_id, subject_id, network)
                     if profile is not None:
-                        if self.account_traffic:
-                            network.account(
-                                subject.node_id,
-                                peer.node_id,
-                                KIND_FULL_PROFILES,
-                                tagging_actions_size(len(profile)),
-                            )
-                        peer.personal_network.store_profile(digest.user_id, profile)
+                        peer.personal_network.store_profile(subject_id, profile)
         return added
+
+    def _subject_digest(self, network: Network, subject_id: int) -> ProfileDigest:
+        """The subject's own current digest (she was just contacted)."""
+        return network.node(subject_id).own_digest()

@@ -13,9 +13,24 @@ byte-level cost model rather than from serialized Java objects:
 
 This module centralizes those constants and the size formulas for every
 message type so that experiments and tests agree on the accounting.
+:func:`total_bytes` maps each transport :class:`~repro.simulator.transport.Message`
+to its wire size through these formulas, so the transport layer's accounting
+hook and the tests share a single cost model.
 """
 
 from __future__ import annotations
+
+from ..simulator.transport import (
+    CommonItemsReply,
+    CommonItemsRequest,
+    DigestAdvertisement,
+    FullProfilePush,
+    FullProfileRequest,
+    Message,
+    QueryForward,
+    QueryResult,
+    RemainingReturn,
+)
 
 USER_ID_BYTES = 4
 ITEM_ID_BYTES = 16
@@ -63,6 +78,38 @@ def partial_result_size(num_items: int, num_contributors: int) -> int:
     if num_items < 0 or num_contributors < 0:
         raise ValueError("sizes must be non-negative")
     return num_items * (ITEM_ID_BYTES + SCORE_BYTES) + num_contributors * USER_ID_BYTES
+
+
+def _query_result_size(message: QueryResult) -> int:
+    partial = message.partial
+    return partial_result_size(len(partial.scores), len(partial.contributors))
+
+
+#: Exact-type size table (a dict lookup: total_bytes sits on the accounting
+#: hot path, called once per payload-bearing message).
+_MESSAGE_SIZERS = {
+    CommonItemsReply: lambda m: 0 if m.actions is None else tagging_actions_size(len(m.actions)),
+    DigestAdvertisement: lambda m: digest_message_size(len(m.digests)),
+    FullProfilePush: lambda m: 0 if m.profile is None else tagging_actions_size(len(m.profile)),
+    QueryForward: lambda m: remaining_list_size(len(m.remaining)),
+    RemainingReturn: lambda m: remaining_list_size(len(m.remaining)),
+    QueryResult: _query_result_size,
+    CommonItemsRequest: lambda m: 0,
+    FullProfileRequest: lambda m: 0,
+}
+
+
+def total_bytes(message: Message) -> int:
+    """Wire size of one transport message under the paper's cost model.
+
+    Control messages (the two request types) cost 0 bytes -- the paper's
+    accounting only charges payloads -- as do the failure replies whose
+    payload is ``None`` (the seed never accounted those non-exchanges).
+    """
+    sizer = _MESSAGE_SIZERS.get(type(message))
+    if sizer is None:
+        raise TypeError(f"unknown message type {type(message).__name__}")
+    return sizer(message)
 
 
 def profile_length(num_actions: int) -> int:

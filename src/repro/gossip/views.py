@@ -19,8 +19,8 @@ paths described in ``docs/ARCHITECTURE.md``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 from ..data.models import UserProfile
 from .digest import ProfileDigest

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set
+from typing import Dict, Mapping, Sequence, Set
 
 from ..similarity.knn import IdealNetworkIndex
 

@@ -13,7 +13,7 @@ by eager gossip.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
+from typing import Dict, Iterable, Mapping, Optional, Set
 
 
 def update_rate(

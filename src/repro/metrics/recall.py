@@ -8,7 +8,7 @@ all queries, per eager cycle.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 
 def recall(retrieved: Sequence[int], relevant: Sequence[int]) -> float:

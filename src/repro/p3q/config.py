@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Mapping, Union
+
+from ..simulator.transport import TRANSPORT_NAMES
 
 #: Storage budgets can be uniform (one int) or heterogeneous (per-user map).
 StorageSpec = Union[int, Mapping[int, int]]
@@ -47,6 +49,13 @@ class P3QConfig:
     lazy_cycle_seconds: float = 60.0
     #: Wall-clock duration of one eager cycle (paper: 5 s).
     eager_cycle_seconds: float = 5.0
+    #: Network conditions: ``"direct"`` (seed-identical synchronous delivery),
+    #: ``"lossy"`` or ``"latency"`` (see :mod:`repro.simulator.transport`).
+    transport: str = "direct"
+    #: Per-message drop probability (lossy / latency transports).
+    loss_rate: float = 0.0
+    #: Maximum per-exchange delay in cycles (latency transport).
+    delay_cycles: int = 0
 
     def __post_init__(self) -> None:
         if self.network_size <= 0:
@@ -59,6 +68,14 @@ class P3QConfig:
             raise ValueError("alpha must be in [0, 1]")
         if isinstance(self.storage, int) and self.storage < 0:
             raise ValueError("storage must be non-negative")
+        if self.transport not in TRANSPORT_NAMES:
+            raise ValueError(
+                f"transport must be one of {TRANSPORT_NAMES}, got {self.transport!r}"
+            )
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        if self.delay_cycles < 0:
+            raise ValueError("delay_cycles must be non-negative")
 
     def storage_for(self, user_id: int) -> int:
         """The stored-profile budget ``c`` of one user."""
@@ -71,38 +88,19 @@ class P3QConfig:
 
     def with_storage(self, storage: StorageSpec) -> "P3QConfig":
         """A copy of this config with a different storage specification."""
-        return P3QConfig(
-            network_size=self.network_size,
-            storage=storage,
-            random_view_size=self.random_view_size,
-            k=self.k,
-            alpha=self.alpha,
-            exchange_size=self.exchange_size,
-            digest_bits=self.digest_bits,
-            digest_hashes=self.digest_hashes,
-            seed=self.seed,
-            account_traffic=self.account_traffic,
-            three_step_exchange=self.three_step_exchange,
-            eager_maintains_networks=self.eager_maintains_networks,
-            lazy_cycle_seconds=self.lazy_cycle_seconds,
-            eager_cycle_seconds=self.eager_cycle_seconds,
-        )
+        return replace(self, storage=storage)
 
     def with_alpha(self, alpha: float) -> "P3QConfig":
         """A copy of this config with a different split parameter."""
-        return P3QConfig(
-            network_size=self.network_size,
-            storage=self.storage,
-            random_view_size=self.random_view_size,
-            k=self.k,
-            alpha=alpha,
-            exchange_size=self.exchange_size,
-            digest_bits=self.digest_bits,
-            digest_hashes=self.digest_hashes,
-            seed=self.seed,
-            account_traffic=self.account_traffic,
-            three_step_exchange=self.three_step_exchange,
-            eager_maintains_networks=self.eager_maintains_networks,
-            lazy_cycle_seconds=self.lazy_cycle_seconds,
-            eager_cycle_seconds=self.eager_cycle_seconds,
+        return replace(self, alpha=alpha)
+
+    def with_transport(
+        self,
+        transport: str,
+        loss_rate: float = 0.0,
+        delay_cycles: int = 0,
+    ) -> "P3QConfig":
+        """A copy of this config running under different network conditions."""
+        return replace(
+            self, transport=transport, loss_rate=loss_rate, delay_cycles=delay_cycles
         )

@@ -8,13 +8,26 @@ querier does not store:
 * a node holding a non-empty remaining list for a query initiates one gossip
   per cycle, preferring the remaining-list member of its personal network
   with the oldest timestamp (and falling back to a random remaining-list
-  member);
+  member); the list travels as a
+  :class:`~repro.simulator.transport.QueryForward` message;
 * the destination removes from the list every user whose profile it stores
-  (including itself), computes the corresponding partial result and sends it
-  *directly* to the querier, keeps a ``1-α`` share of what is left and
-  returns the ``α`` share to the initiator;
+  (including itself), ships the corresponding partial result *directly* to
+  the querier as a :class:`~repro.simulator.transport.QueryResult`, keeps a
+  ``1-α`` share of what is left and returns the ``α`` share in a
+  :class:`~repro.simulator.transport.RemainingReturn`;
 * both partners also refresh their personal networks exactly as in the lazy
   mode, which is why eager gossip doubles as a freshness wave.
+
+Transport semantics: under the default :class:`DirectTransport` the forward
+round-trip is synchronous and the seed's behaviour is reproduced exactly.
+A lossy transport may drop the forward (the initiator keeps the list and
+retries next cycle -- the sender-side timeout of a real gossip), the return
+(the destination keeps its share but the α share is lost; replicated
+profiles elsewhere keep recall from collapsing -- the transport reports
+``REPLY_DROPPED`` so the initiator does not re-forward a list the
+destination already processed) or the partial result (pure recall loss).  A latency transport
+defers the whole forward: the initiator hands off responsibility (empty
+list) and the α share merges back whenever the ``RemainingReturn`` arrives.
 """
 
 from __future__ import annotations
@@ -24,13 +37,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..data.queries import Query
 from ..simulator.network import Network
-from ..simulator.stats import (
-    KIND_PARTIAL_RESULT,
-    KIND_REMAINING_FORWARD,
-    KIND_REMAINING_RETURN,
-)
+from ..simulator.transport import REPLY_DROPPED, QueryForward, QueryResult
 from ..gossip.profile_exchange import LazyExchangeProtocol
-from ..gossip.sizes import partial_result_size, remaining_list_size
 from .query import PartialResult
 from .scoring import partial_scores
 
@@ -99,8 +107,15 @@ class EagerGossipProtocol:
     ) -> List[int]:
         """One eager gossip initiated by ``initiator`` for ``query``.
 
-        Returns the initiator's new remaining list.  If no destination is
-        reachable the list is returned unchanged (the cycle is lost).
+        Returns the initiator's new remaining list: the α share handed back
+        by the destination when the forward was delivered; the list unchanged
+        when no destination was reachable or the *forward* was lost (the
+        cycle is lost, the initiator retries); the empty list when a latency
+        transport deferred the forward (responsibility is in flight and the
+        return will merge back on arrival) or when the forward was processed
+        but the *return* was lost on the wire (the destination owns its kept
+        share; the α share is gone -- retrying would duplicate work the
+        destination already performed).
         """
         remaining = list(remaining)
         if not remaining:
@@ -108,42 +123,29 @@ class EagerGossipProtocol:
         destination_id = self.select_destination(initiator, remaining, network)
         if destination_id is None:
             return remaining
-        destination = network.try_contact(destination_id)
-        if destination is None:
+        # Reachability check BEFORE mark_gossiped: an unreachable destination
+        # must not have its personal-network timestamp reset (seed ordering).
+        if network.try_contact(destination_id) is None:
             return remaining
         if destination_id in initiator.personal_network:
             initiator.personal_network.mark_gossiped(destination_id)
 
-        if self.account_traffic:
-            network.account(
-                initiator.node_id,
-                destination_id,
-                KIND_REMAINING_FORWARD,
-                remaining_list_size(len(remaining)),
-                query_id=query.query_id,
-            )
-
-        returned = destination.receive_query_gossip(
-            initiator=initiator,
-            query=query,
-            remaining=remaining,
-            network=network,
-            cycle=cycle,
-            protocol=self,
+        dispatch = network.transport.request(
+            initiator.node_id,
+            destination_id,
+            QueryForward(query=query, remaining=tuple(remaining), cycle=cycle),
+            query_id=query.query_id,
+            account=self.account_traffic,
         )
+        if dispatch.deferred or dispatch.status == REPLY_DROPPED:
+            return []
+        if dispatch.reply is None:
+            return remaining
 
-        if self.account_traffic:
-            network.account(
-                destination_id,
-                initiator.node_id,
-                KIND_REMAINING_RETURN,
-                remaining_list_size(len(returned)),
-                query_id=query.query_id,
-            )
-
+        returned = list(dispatch.reply.remaining)
         if self.maintain_networks:
             # "Maintain personal network as in lazy mode" (Algorithm 3, 12/24).
-            self.lazy.exchange(initiator, destination, network)
+            self.lazy.exchange(initiator, destination_id, network)
         return returned
 
     # -- destination-side processing --------------------------------------------
@@ -201,8 +203,7 @@ class EagerGossipProtocol:
         network: Network,
         cycle: int,
     ) -> None:
-        querier = network.try_contact(query.querier)
-        if querier is None:
+        if network.try_contact(query.querier) is None:
             return
         partial = PartialResult(
             query_id=query.query_id,
@@ -211,15 +212,13 @@ class EagerGossipProtocol:
             contributors=tuple(sorted(contributors)),
             cycle=cycle,
         )
-        if self.account_traffic:
-            network.account(
-                sender.node_id,
-                query.querier,
-                KIND_PARTIAL_RESULT,
-                partial_result_size(len(scores), len(contributors)),
-                query_id=query.query_id,
-            )
-        querier.receive_partial_result(partial)
+        network.transport.send(
+            sender.node_id,
+            query.querier,
+            QueryResult(partial=partial),
+            query_id=query.query_id,
+            account=self.account_traffic,
+        )
 
 
 class EagerParticipant:
@@ -227,7 +226,9 @@ class EagerParticipant:
 
     The concrete implementation is :class:`repro.p3q.node.P3QNode`; this
     class only exists so the protocol's expectations are written down in one
-    place (and so tests can provide minimal fakes).
+    place (and so tests can provide minimal fakes).  Participants receive
+    ``QueryForward`` / ``QueryResult`` / ``RemainingReturn`` messages through
+    ``handle_message`` (see :class:`repro.simulator.transport.Transport`).
     """
 
     node_id: int
@@ -243,7 +244,7 @@ class EagerParticipant:
     def mark_contributed(self, query_id: int, user_ids: Sequence[int]) -> None:  # pragma: no cover
         raise NotImplementedError
 
-    def receive_query_gossip(self, **kwargs):  # pragma: no cover - interface stub
+    def handle_message(self, envelope):  # pragma: no cover - interface stub
         raise NotImplementedError
 
     def receive_partial_result(self, partial: PartialResult) -> None:  # pragma: no cover

@@ -13,7 +13,11 @@ A :class:`P3QNode` combines
 
 The node satisfies both the simulator's :class:`~repro.simulator.node.Node`
 interface and the gossip layer's :class:`~repro.gossip.interfaces.GossipPeer`
-protocol.
+protocol, and is addressable on the wire: every message the transport
+delivers lands in :meth:`P3QNode.handle_message`, which dispatches to the
+protocol objects (gossip advertisements), serves the step-2/3 control
+requests from local state, and routes query traffic into the session and
+forwarded-list state.
 
 Everything hot a node does rides the performance layer documented in
 ``docs/ARCHITECTURE.md``: its own digest is version-cached
@@ -35,6 +39,19 @@ from ..gossip.profile_exchange import LazyExchangeProtocol
 from ..gossip.views import PersonalNetwork, RandomView
 from ..simulator.engine import PHASE_EAGER, PHASE_LAZY
 from ..simulator.node import Node
+from ..simulator.transport import (
+    CommonItemsReply,
+    CommonItemsRequest,
+    DigestAdvertisement,
+    Envelope,
+    FullProfilePush,
+    FullProfileRequest,
+    Message,
+    QueryForward,
+    QueryResult,
+    RemainingReturn,
+    VIEW_RANDOM,
+)
 from .config import P3QConfig
 from .eager import EagerGossipProtocol
 from .query import CycleSnapshot, ForwardedQueryState, PartialResult, QuerySession
@@ -199,20 +216,55 @@ class P3QNode(Node):
             return True
         return any(state.active for state in self.forwarded.values())
 
+    # ------------------------------------------------------- message handling
+
+    def handle_message(self, envelope: Envelope) -> Optional[Message]:
+        """Process one delivered transport message; return the reply, if any.
+
+        This is the single wire entry point of a node: gossip advertisements
+        dispatch to the protocol objects, the step-2/3 control requests are
+        served from local state, and query traffic feeds the session /
+        forwarded-list state.  Replies are returned to the transport, which
+        prices and routes them (synchronously for a live round-trip,
+        asynchronously for an exchange a latency transport deferred).
+        Unknown message types are silently ignored (no reply).
+        """
+        handler = _MESSAGE_HANDLERS.get(type(envelope.message))
+        if handler is None:
+            return None
+        return handler(self, envelope)
+
+    def _handle_common_items_request(self, envelope: Envelope) -> CommonItemsReply:
+        message = envelope.message
+        return CommonItemsReply(
+            subject_id=message.subject_id,
+            actions=self.actions_for_items_of(message.subject_id, message.items),
+        )
+
+    def _handle_digest_advertisement(self, envelope: Envelope) -> Optional[Message]:
+        if envelope.message.view == VIEW_RANDOM:
+            return self.peer_sampling.handle_advertisement(self, envelope)
+        return self.lazy.handle_advertisement(self, envelope)
+
+    def _handle_full_profile_request(self, envelope: Envelope) -> FullProfilePush:
+        message = envelope.message
+        return FullProfilePush(
+            subject_id=message.subject_id,
+            profile=self.full_profile_of(message.subject_id),
+        )
+
+    def _handle_query_result(self, envelope: Envelope) -> None:
+        self.receive_partial_result(envelope.message.partial)
+        return None
+
     # --------------------------------------------------- query (reached nodes)
 
-    def receive_query_gossip(
-        self,
-        initiator: "P3QNode",
-        query: Query,
-        remaining: Sequence[int],
-        network,
-        cycle: int,
-        protocol: EagerGossipProtocol,
-    ) -> List[int]:
+    def _handle_query_forward(self, envelope: Envelope) -> RemainingReturn:
         """Handle an incoming eager gossip message (Algorithm 3, destination)."""
-        returned, kept = protocol.process_at_destination(
-            self, query, remaining, network, cycle
+        message = envelope.message
+        query = message.query
+        returned, kept = self.eager.process_at_destination(
+            self, query, list(message.remaining), self.network, message.cycle
         )
         if kept:
             state = self.forwarded.get(query.query_id)
@@ -223,7 +275,24 @@ class P3QNode(Node):
             else:
                 merged = set(state.remaining) | set(kept)
                 state.remaining = sorted(merged)
-        return returned
+        return RemainingReturn(query_id=query.query_id, remaining=tuple(returned))
+
+    def _handle_remaining_return(self, envelope: Envelope) -> None:
+        """Merge an α share arriving *after* its forward (latency transport).
+
+        The synchronous path consumes the return as the forward's reply; this
+        handler only runs for deferred exchanges, where the share must rejoin
+        whatever remaining list the node has accumulated meanwhile.
+        """
+        message = envelope.message
+        session = self.sessions.get(message.query_id)
+        if session is not None:
+            session.remaining = sorted(set(session.remaining) | set(message.remaining))
+            return None
+        state = self.forwarded.get(message.query_id)
+        if state is not None:
+            state.remaining = sorted(set(state.remaining) | set(message.remaining))
+        return None
 
     def profile_for_query(self, user_id: int) -> Optional[UserProfile]:
         """A profile this node can contribute to a query, or ``None``."""
@@ -243,3 +312,16 @@ class P3QNode(Node):
             uid: profile.version
             for uid, profile in self.personal_network.stored_profiles().items()
         }
+
+
+#: Exact-type dispatch table for :meth:`P3QNode.handle_message`, ordered by
+#: observed message frequency (a dict lookup beats an isinstance chain on the
+#: hot path: common-item requests dominate every lazy cycle).
+_MESSAGE_HANDLERS = {
+    CommonItemsRequest: P3QNode._handle_common_items_request,
+    DigestAdvertisement: P3QNode._handle_digest_advertisement,
+    FullProfileRequest: P3QNode._handle_full_profile_request,
+    QueryForward: P3QNode._handle_query_forward,
+    QueryResult: P3QNode._handle_query_result,
+    RemainingReturn: P3QNode._handle_remaining_return,
+}

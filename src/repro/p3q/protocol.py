@@ -9,12 +9,11 @@ networks, query issuing, eager processing, profile changes and churn.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..data.models import ChangeDay, Dataset
 from ..data.dynamics import apply_change_day
 from ..data.queries import Query
-from ..gossip.digest import ProfileDigest
 from ..gossip.peer_sampling import PeerSamplingProtocol
 from ..gossip.profile_exchange import LazyExchangeProtocol
 from ..gossip.views import PersonalNetwork
@@ -22,6 +21,7 @@ from ..similarity.knn import IdealNetworkIndex
 from ..simulator.engine import PHASE_EAGER, PHASE_LAZY, SimulationEngine
 from ..simulator.network import Network
 from ..simulator.stats import KIND_REMAINING_FORWARD, StatsCollector
+from ..simulator.transport import make_transport
 from .config import P3QConfig
 from .eager import EagerGossipProtocol
 from .node import P3QNode
@@ -35,7 +35,15 @@ class P3QSimulation:
         self.dataset = dataset
         self.config = config
         self.stats = StatsCollector()
-        self.network = Network(stats=self.stats)
+        self.network = Network(
+            stats=self.stats,
+            transport=make_transport(
+                config.transport,
+                loss_rate=config.loss_rate,
+                delay_cycles=config.delay_cycles,
+                seed=config.seed,
+            ),
+        )
         self.engine = SimulationEngine(self.network, seed=config.seed)
         # One shared instance of each protocol: they are stateless apart from
         # bounded caches, and sharing keeps memory linear in the user count.
@@ -159,9 +167,10 @@ class P3QSimulation:
         remaining list, unless ``stop_when_idle`` is False).
         """
         run = 0
+        transport = self.network.transport
         for _ in range(cycles):
             participants = self.eager_participants()
-            if stop_when_idle and not participants:
+            if stop_when_idle and not participants and transport.pending_count() == 0:
                 break
             self.engine.run_cycle(phase=PHASE_EAGER, participants=participants)
             self._eager_cycles_run += 1

@@ -13,7 +13,7 @@ Two kinds of state exist during eager-mode processing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..data.queries import Query
 from ..topk.incremental import IncrementalNRA

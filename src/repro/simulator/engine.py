@@ -10,8 +10,8 @@ the paper's 1-minute lazy cycles and 5-second eager cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .network import Network
 from .rng import SeededRngFactory
@@ -43,7 +43,9 @@ class SimulationEngine:
         self._scheduler_rng = self.rng_factory.for_purpose("scheduler")
         #: Per-phase cycle counters (how many cycles of each phase have run).
         self.cycle_counts: Dict[str, int] = {}
-        self._events: List[ScheduledEvent] = []
+        #: Events indexed by ``(phase, cycle)`` so each cycle pops its own
+        #: bucket in O(1) instead of rescanning and rebuilding the full list.
+        self._events: Dict[Tuple[str, int], List[ScheduledEvent]] = {}
         self._pre_hooks: List[CycleHook] = []
         self._post_hooks: List[CycleHook] = []
         #: Global cycle counter across all phases, used for traffic accounting.
@@ -55,7 +57,11 @@ class SimulationEngine:
         """Register an event (e.g. churn, profile change) for a future cycle."""
         if event.cycle < 0:
             raise ValueError("event cycle must be non-negative")
-        self._events.append(event)
+        self._events.setdefault((event.phase, event.cycle), []).append(event)
+
+    def pending_events(self) -> int:
+        """Number of scheduled events that have not fired yet."""
+        return sum(len(bucket) for bucket in self._events.values())
 
     def add_pre_cycle_hook(self, hook: CycleHook) -> None:
         self._pre_hooks.append(hook)
@@ -82,11 +88,14 @@ class SimulationEngine:
         cycle_index = self.cycle_counts.get(phase, 0)
         self.network.current_cycle = self.global_cycle
 
-        for event in [e for e in self._events if e.phase == phase and e.cycle == cycle_index]:
+        for event in self._events.pop((phase, cycle_index), ()):
             event.action(self)
-        self._events = [
-            e for e in self._events if not (e.phase == phase and e.cycle == cycle_index)
-        ]
+
+        # Deliver in-flight messages after events so that churn applies first
+        # (a message to a freshly departed node is lost, as on a real wire).
+        transport = self.network.transport
+        if transport.pending_count():
+            transport.drain()
 
         for hook in self._pre_hooks:
             hook(self, cycle_index)

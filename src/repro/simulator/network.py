@@ -1,13 +1,17 @@
 """Simulated network: node registry, reachability, churn, traffic accounting.
 
-The simulation follows PeerSim's cycle-driven model: nodes interact through
-direct (synchronous) exchanges within a cycle, there is no message loss and
-no latency below the cycle granularity.  What the network does provide is:
+The simulation follows PeerSim's cycle-driven model.  All peer interaction
+flows through the attached :class:`~repro.simulator.transport.Transport` as
+explicit messages; the default :class:`~repro.simulator.transport.DirectTransport`
+reproduces synchronous, lossless exchanges with no latency below the cycle
+granularity, while lossy/latency transports perturb delivery without any
+protocol change.  What the network itself provides is:
 
 * a registry of nodes with an online/offline flag (churn);
 * the guard that an exchange with an offline peer fails, so protocols must
   handle unavailable neighbours;
-* byte-level accounting of every transmission through the attached
+* byte-level accounting of every transmission (invoked by the transport's
+  accounting hook) through the attached
   :class:`~repro.simulator.stats.StatsCollector`.
 """
 
@@ -17,6 +21,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from .node import Node
 from .stats import StatsCollector
+from .transport import DirectTransport, Transport
 
 
 class UnknownNodeError(KeyError):
@@ -30,10 +35,17 @@ class NodeOfflineError(RuntimeError):
 class Network:
     """Registry of simulated nodes plus churn state and traffic accounting."""
 
-    def __init__(self, stats: Optional[StatsCollector] = None) -> None:
+    def __init__(
+        self,
+        stats: Optional[StatsCollector] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
         self._nodes: Dict[int, Node] = {}
         self._online: Dict[int, bool] = {}
         self.stats = stats or StatsCollector()
+        #: The wire: every peer interaction is a message routed through here.
+        self.transport = transport or DirectTransport()
+        self.transport.attach(self)
         #: The engine keeps this up to date so that nodes can attribute
         #: traffic to the cycle in which it happened.
         self.current_cycle = 0

@@ -10,8 +10,8 @@ experiment harness turns into the paper's series.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
 #: Well-known traffic kinds (free-form strings are allowed too).
 KIND_RANDOM_VIEW = "random_view_digests"

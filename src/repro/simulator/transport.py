@@ -1,0 +1,546 @@
+"""Explicit message-passing transport layer.
+
+Every peer interaction of the P3Q stack flows through a
+:class:`Transport` as a typed, frozen :class:`Message`:
+
+============================  =============================================
+message                       meaning
+============================  =============================================
+:class:`DigestAdvertisement`  digests advertised in a gossip exchange --
+                              random-view digests (peer sampling) or
+                              stored-profile digests (lazy Algorithm 1)
+:class:`CommonItemsRequest`   step-2 ask: "subject's actions on these items"
+:class:`CommonItemsReply`     the matching tagging actions (or ``None``)
+:class:`FullProfileRequest`   step-3 ask for a complete profile replica
+:class:`FullProfilePush`      the full profile (or ``None`` if not held)
+:class:`QueryForward`         an eager remaining-list forward (Algorithm 3)
+:class:`RemainingReturn`      the alpha-share handed back to the forwarder
+:class:`QueryResult`          a partial result shipped to the querier
+============================  =============================================
+
+Reifying the wire protocol as data is what makes network conditions
+pluggable: the same protocol code runs unchanged over
+
+* :class:`DirectTransport` -- synchronous and lossless, bit-identical to the
+  seed's direct method calls (the default; all reproduced figures use it);
+* :class:`LossyTransport` -- every message is independently dropped with a
+  seeded per-message probability (gossip under packet loss);
+* :class:`LatencyTransport` -- top-level exchanges are delayed by a seeded
+  number of cycles and drained by the engine at the start of later cycles
+  (stale digests, late partial results, churn mid-exchange); it composes
+  with a loss rate.
+
+Delivery semantics
+------------------
+
+``request`` performs a round-trip: the receiver's ``handle_message`` runs
+synchronously and its reply message is returned in the :class:`Dispatch`.
+Cycle-granularity latency applies at *exchange* granularity: a deferred
+request is queued whole, the receiver processes it when the engine drains
+the queue, and the reply is then routed back to the initiator as a one-way
+message (itself subject to delay).  The control sub-requests *inside* an
+exchange (:class:`CommonItemsRequest`, :class:`FullProfileRequest`) always
+complete within the cycle in which the exchange is processed -- real
+round-trip times are far below the paper's 60 s / 5 s cycle lengths -- but
+remain individually droppable by a lossy transport.
+
+Byte accounting happens in exactly one place, :meth:`Transport._account`:
+every payload-bearing message is priced by
+:func:`repro.gossip.sizes.total_bytes` and recorded at *send* time (a lost
+message still costs its sender bandwidth).  Pure control messages (the two
+request types, which the paper's cost model does not charge) and failure
+replies carrying a ``None`` payload are never recorded, which reproduces the
+seed's accounting exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
+
+from .stats import (
+    KIND_COMMON_ITEMS,
+    KIND_DIGESTS,
+    KIND_FULL_PROFILES,
+    KIND_PARTIAL_RESULT,
+    KIND_RANDOM_VIEW,
+    KIND_REMAINING_FORWARD,
+    KIND_REMAINING_RETURN,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..data.models import TaggingAction, UserProfile
+    from ..data.queries import Query
+    from ..gossip.digest import ProfileDigest
+    from ..p3q.query import PartialResult
+    from .network import Network
+
+#: ``DigestAdvertisement.view`` values.
+VIEW_RANDOM = "random"
+VIEW_PERSONAL = "personal"
+
+#: Dispatch statuses.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+#: The request leg arrived and was processed, but the *reply* was lost.
+#: Callers must not retry: the receiver's side effects already happened.
+REPLY_DROPPED = "reply_dropped"
+DEFERRED = "deferred"
+UNREACHABLE = "unreachable"
+
+
+# ------------------------------------------------------------------- messages
+
+
+class Message:
+    """Base of the wire-message catalogue.
+
+    ``kind`` is the traffic kind recorded by the stats collector (``None``
+    for control messages the cost model does not charge); ``DEFERRABLE``
+    marks the top-level exchange messages a latency transport may delay.
+    """
+
+    __slots__ = ()
+
+    kind: Optional[str] = None
+    DEFERRABLE = False
+
+    @property
+    def accountable(self) -> bool:
+        """False for failure replies whose payload is ``None``."""
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class DigestAdvertisement(Message):
+    """Digests advertised in one direction of a gossip exchange."""
+
+    digests: Tuple["ProfileDigest", ...]
+    #: :data:`VIEW_RANDOM` (peer sampling) or :data:`VIEW_PERSONAL` (lazy).
+    view: str
+
+    DEFERRABLE = True
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return KIND_RANDOM_VIEW if self.view == VIEW_RANDOM else KIND_DIGESTS
+
+
+@dataclass(frozen=True, slots=True)
+class CommonItemsRequest(Message):
+    """Step 2 of the lazy exchange: ask the profile holder for the actions
+    of ``subject_id`` restricted to the (Bloom-probed) common items."""
+
+    subject_id: int
+    items: FrozenSet[int]
+
+
+@dataclass(frozen=True, slots=True)
+class CommonItemsReply(Message):
+    """The requested tagging actions; ``None`` when the holder no longer
+    stores the subject's profile (the request simply fails)."""
+
+    subject_id: int
+    actions: Optional[FrozenSet["TaggingAction"]]
+
+    kind = KIND_COMMON_ITEMS
+
+    @property
+    def accountable(self) -> bool:
+        return self.actions is not None
+
+
+@dataclass(frozen=True, slots=True)
+class FullProfileRequest(Message):
+    """Step 3 of the lazy exchange: ask for a complete profile replica."""
+
+    subject_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class FullProfilePush(Message):
+    """A complete profile copy; ``None`` when the sender does not hold it."""
+
+    subject_id: int
+    profile: Optional["UserProfile"]
+
+    kind = KIND_FULL_PROFILES
+
+    @property
+    def accountable(self) -> bool:
+        return self.profile is not None
+
+
+@dataclass(frozen=True, slots=True)
+class QueryForward(Message):
+    """An eager gossip: the query plus the forwarded remaining list."""
+
+    query: "Query"
+    remaining: Tuple[int, ...]
+    #: Eager cycle at which the forward was emitted (stamps partial results).
+    cycle: int
+
+    kind = KIND_REMAINING_FORWARD
+    DEFERRABLE = True
+
+
+@dataclass(frozen=True, slots=True)
+class RemainingReturn(Message):
+    """The share of a forwarded remaining list handed back to the sender."""
+
+    query_id: int
+    remaining: Tuple[int, ...]
+
+    kind = KIND_REMAINING_RETURN
+    DEFERRABLE = True
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult(Message):
+    """A partial result list sent directly to the querier."""
+
+    partial: "PartialResult"
+
+    kind = KIND_PARTIAL_RESULT
+    DEFERRABLE = True
+
+
+# ------------------------------------------------------------------ envelopes
+
+
+class Envelope(NamedTuple):
+    """One message in flight: addressing plus delivery metadata.
+
+    A named tuple: envelopes are allocated once or twice per round-trip on
+    the hottest path of the simulator, and tuple construction is C-level.
+    """
+
+    sender: int
+    receiver: int
+    message: Message
+    query_id: Optional[int]
+    expects_reply: bool
+    account: bool
+
+
+class Dispatch:
+    """Outcome of a transport round-trip."""
+
+    __slots__ = ("status", "reply")
+
+    def __init__(self, status: str, reply: Optional[Message]) -> None:
+        self.status = status
+        self.reply = reply
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == DELIVERED
+
+    @property
+    def deferred(self) -> bool:
+        return self.status == DEFERRED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dispatch({self.status}, reply={type(self.reply).__name__ if self.reply else None})"
+
+
+#: Reply-less outcomes are immutable, so one instance each serves every call
+#: (the request path is hot: thousands of control round-trips per cycle).
+_UNREACHABLE_DISPATCH = Dispatch(UNREACHABLE, None)
+_DROPPED_DISPATCH = Dispatch(DROPPED, None)
+_REPLY_DROPPED_DISPATCH = Dispatch(REPLY_DROPPED, None)
+_DEFERRED_DISPATCH = Dispatch(DEFERRED, None)
+_DELIVERED_SILENT_DISPATCH = Dispatch(DELIVERED, None)
+
+
+# ----------------------------------------------------------------- transports
+
+
+class Transport:
+    """Routes envelopes between nodes; :class:`DirectTransport` semantics.
+
+    The base class is synchronous and lossless; subclasses perturb delivery
+    through the :meth:`_roll_drop` / :meth:`_roll_delay` hooks only, so every
+    transport shares one delivery and accounting path.
+    """
+
+    name = "direct"
+
+    def __init__(self) -> None:
+        self._network: Optional["Network"] = None
+        self._total_bytes = None
+        #: absolute global cycle -> envelopes due at that cycle (FIFO).
+        self._queue: Dict[int, List[Envelope]] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Bind to a network (called by :class:`Network.__init__`).
+
+        The size model lives in :mod:`repro.gossip.sizes` (the gossip layer
+        legitimately depends on the simulator below it); resolving it here at
+        attach time rather than at module import keeps the simulator package
+        importable on its own and avoids a load-order cycle with the sizes
+        module, which imports the message catalogue at its top level.
+        """
+        from ..gossip.sizes import total_bytes
+
+        self._network = network
+        self._total_bytes = total_bytes
+
+    # -- condition hooks (overridden by lossy/latency transports) -------------
+
+    def _roll_drop(self, message: Message) -> bool:
+        return False
+
+    def _roll_delay(self, message: Message) -> int:
+        return 0
+
+    # -- sending --------------------------------------------------------------
+
+    def request(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int] = None,
+        account: bool = True,
+    ) -> Dispatch:
+        """Round-trip send: deliver ``message`` and return the reply.
+
+        A deferred request is queued whole; its reply will eventually reach
+        the sender through :meth:`drain` as a one-way message.
+        """
+        node = self._network.try_contact(receiver)
+        handler = getattr(node, "handle_message", None)
+        if handler is None:
+            return _UNREACHABLE_DISPATCH
+        if account:
+            self._account(sender, receiver, message, query_id)
+        if self._roll_drop(message):
+            return _DROPPED_DISPATCH
+        delay = self._roll_delay(message)
+        if delay > 0:
+            self._enqueue(Envelope(sender, receiver, message, query_id, True, account), delay)
+            return _DEFERRED_DISPATCH
+        reply = handler(Envelope(sender, receiver, message, query_id, True, account))
+        if reply is None:
+            return _DELIVERED_SILENT_DISPATCH
+        if account:
+            self._account(receiver, sender, reply, query_id)
+        if self._roll_drop(reply):
+            # The receiver DID process the request; only its answer is lost.
+            # Distinguished from DROPPED so callers do not retry work the
+            # other side already performed.
+            return _REPLY_DROPPED_DISPATCH
+        return Dispatch(DELIVERED, reply)
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int] = None,
+        account: bool = True,
+    ) -> str:
+        """One-way, fire-and-forget send; returns the dispatch status."""
+        node = self._network.try_contact(receiver)
+        handler = getattr(node, "handle_message", None)
+        if handler is None:
+            return UNREACHABLE
+        if account:
+            self._account(sender, receiver, message, query_id)
+        if self._roll_drop(message):
+            return DROPPED
+        delay = self._roll_delay(message)
+        if delay > 0:
+            self._enqueue(Envelope(sender, receiver, message, query_id, False, account), delay)
+            return DEFERRED
+        handler(Envelope(sender, receiver, message, query_id, False, account))
+        return DELIVERED
+
+    # -- deferred delivery ----------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Number of in-flight (delayed) envelopes."""
+        if not self._queue:
+            return 0
+        return sum(len(batch) for batch in self._queue.values())
+
+    def drain(self) -> int:
+        """Deliver every queued envelope now due; returns the count delivered.
+
+        Called by the engine at the start of each cycle, after scheduled
+        events (so churn applies first: a message to a node that departed
+        while it was in flight is simply lost -- its bytes were already
+        spent).  Replies to deferred round-trips are routed back through
+        :meth:`send` and may themselves be dropped or delayed.
+        """
+        if not self._queue:
+            return 0
+        now = self._network.current_cycle
+        due = sorted(cycle for cycle in self._queue if cycle <= now)
+        delivered = 0
+        for cycle in due:
+            for envelope in self._queue.pop(cycle):
+                node = self._network.try_contact(envelope.receiver)
+                handler = getattr(node, "handle_message", None)
+                if handler is None:
+                    continue
+                delivered += 1
+                reply = handler(envelope)
+                if reply is not None and envelope.expects_reply:
+                    self.send(
+                        envelope.receiver,
+                        envelope.sender,
+                        reply,
+                        query_id=envelope.query_id,
+                        account=envelope.account,
+                    )
+        return delivered
+
+    def _enqueue(self, envelope: Envelope, delay: int) -> None:
+        due = self._network.current_cycle + delay
+        self._queue.setdefault(due, []).append(envelope)
+
+    # -- delivery internals ---------------------------------------------------
+
+    def _account(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int],
+    ) -> None:
+        """The single byte-accounting hook every message passes through.
+
+        Control messages (``kind`` is ``None``) and failure replies carrying
+        a ``None`` payload are free; everything else is priced at send time
+        by :func:`repro.gossip.sizes.total_bytes`.
+        """
+        kind = message.kind
+        if kind is None or not message.accountable:
+            return
+        self._network.account(
+            sender, receiver, kind, self._total_bytes(message), query_id=query_id
+        )
+
+
+class DirectTransport(Transport):
+    """Synchronous, lossless delivery -- the seed's semantics, bit-identical.
+
+    Overrides the send paths without the drop/delay hooks: this transport
+    carries every message of every reproduced figure, so the round-trip is
+    kept as lean as resolve -> account -> deliver -> account.
+    """
+
+    name = "direct"
+
+    def request(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int] = None,
+        account: bool = True,
+    ) -> Dispatch:
+        handler = getattr(self._network.try_contact(receiver), "handle_message", None)
+        if handler is None:
+            return _UNREACHABLE_DISPATCH
+        if account:
+            self._account(sender, receiver, message, query_id)
+        reply = handler(Envelope(sender, receiver, message, query_id, True, account))
+        if reply is None:
+            return _DELIVERED_SILENT_DISPATCH
+        if account:
+            self._account(receiver, sender, reply, query_id)
+        return Dispatch(DELIVERED, reply)
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int] = None,
+        account: bool = True,
+    ) -> str:
+        handler = getattr(self._network.try_contact(receiver), "handle_message", None)
+        if handler is None:
+            return UNREACHABLE
+        if account:
+            self._account(sender, receiver, message, query_id)
+        handler(Envelope(sender, receiver, message, query_id, False, account))
+        return DELIVERED
+
+
+class LossyTransport(Transport):
+    """Drops each message independently with probability ``loss_rate``.
+
+    The drop stream is seeded and separate from every node's RNG stream, so
+    a ``loss_rate`` of 0 is bit-identical to :class:`DirectTransport` and a
+    fixed seed yields a fully deterministic run.
+    """
+
+    name = "lossy"
+
+    def __init__(self, loss_rate: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        self.loss_rate = loss_rate
+        self._drop_rng = random.Random(f"{seed}/transport/loss")
+
+    def _roll_drop(self, message: Message) -> bool:
+        if self.loss_rate <= 0.0:
+            return False
+        return self._drop_rng.random() < self.loss_rate
+
+    @property
+    def drop_rng(self) -> random.Random:
+        return self._drop_rng
+
+
+class LatencyTransport(LossyTransport):
+    """Delays top-level exchanges by 0..``delay_cycles`` engine cycles.
+
+    Delays are drawn from a seeded stream separate from the drop stream;
+    ``delay_cycles=0`` (with ``loss_rate=0``) is bit-identical to
+    :class:`DirectTransport`.  Only ``DEFERRABLE`` messages are ever queued;
+    the control sub-requests of an exchange stay synchronous (see the module
+    docstring for the semantics).
+    """
+
+    name = "latency"
+
+    def __init__(self, delay_cycles: int, seed: int = 0, loss_rate: float = 0.0) -> None:
+        super().__init__(loss_rate, seed=seed)
+        if delay_cycles < 0:
+            raise ValueError("delay_cycles must be non-negative")
+        self.delay_cycles = delay_cycles
+        self._delay_rng = random.Random(f"{seed}/transport/delay")
+
+    def _roll_delay(self, message: Message) -> int:
+        if self.delay_cycles <= 0 or not message.DEFERRABLE:
+            return 0
+        return self._delay_rng.randint(0, self.delay_cycles)
+
+
+#: Transport names accepted by :func:`make_transport` / ``P3QConfig.transport``.
+TRANSPORT_NAMES = ("direct", "lossy", "latency")
+
+
+def make_transport(
+    name: str,
+    loss_rate: float = 0.0,
+    delay_cycles: int = 0,
+    seed: int = 0,
+) -> Transport:
+    """Build a transport from configuration values."""
+    if name == "direct":
+        return DirectTransport()
+    if name == "lossy":
+        return LossyTransport(loss_rate, seed=seed)
+    if name == "latency":
+        return LatencyTransport(delay_cycles, seed=seed, loss_rate=loss_rate)
+    raise ValueError(f"unknown transport {name!r} (expected one of {TRANSPORT_NAMES})")

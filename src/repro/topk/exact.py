@@ -7,7 +7,7 @@ baselines: simply sum every list's score per item and sort.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 
 def merge_score_maps(score_maps: Iterable[Mapping[int, float]]) -> Dict[int, float]:

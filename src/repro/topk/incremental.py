@@ -22,7 +22,7 @@ exact personalized top-k the centralized baseline would compute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .heap import CandidateHeap

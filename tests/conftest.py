@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.models import Dataset, UserProfile
+from repro.data.models import Dataset
 from repro.data.queries import Query, QueryWorkloadGenerator
 from repro.data.synthetic import SyntheticConfig, generate_dataset
 from repro.p3q.config import P3QConfig

@@ -12,7 +12,6 @@ from repro.baselines import (
 )
 from repro.data.queries import QueryWorkloadGenerator
 from repro.p3q.scoring import partial_scores
-from repro.similarity.knn import IdealNetworkIndex
 
 
 @pytest.fixture(scope="module")

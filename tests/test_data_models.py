@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.data.models import ChangeDay, Dataset, ProfileChange, UserProfile
+from repro.data.models import ChangeDay, ProfileChange, UserProfile
 
 
 class TestUserProfile:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.models import Dataset, UserProfile
+from repro.data.models import Dataset
 from repro.gossip.peer_sampling import PeerSamplingProtocol
 from repro.gossip.profile_exchange import LazyExchangeProtocol
 from repro.p3q.config import P3QConfig
@@ -32,6 +32,18 @@ def build_network(dataset: Dataset, config: P3QConfig):
         nodes[node.node_id] = node
         network.add_node(node)
     return network, nodes
+
+
+def wire_protocol(nodes, protocol) -> None:
+    """Install a protocol instance on every node, as a simulation would.
+
+    The transport delivers messages to the *receiver's* protocol objects, so
+    a test exercising a non-default protocol must share it across the nodes
+    (production wiring: one instance per :class:`P3QSimulation`).
+    """
+    attr = "lazy" if isinstance(protocol, LazyExchangeProtocol) else "peer_sampling"
+    for node in nodes.values():
+        setattr(node, attr, protocol)
 
 
 @pytest.fixture()
@@ -194,6 +206,7 @@ class TestLazyExchange:
     def test_non_three_step_mode_ships_profiles_immediately(self, wired):
         network, nodes = wired
         protocol = LazyExchangeProtocol(three_step=False)
+        wire_protocol(nodes, protocol)
         for _ in range(3):
             for node in nodes.values():
                 protocol.run_cycle(node, network)

@@ -9,7 +9,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.data.models import UserProfile
 from repro.gossip.digest import make_digest
-from repro.gossip.views import NeighbourEntry, PersonalNetwork, RandomView
+from repro.gossip.views import PersonalNetwork, RandomView
 
 
 def _digest(user_id: int, items=(1, 2), version=None):

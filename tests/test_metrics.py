@@ -18,7 +18,6 @@ from repro.metrics import (
     update_rate,
 )
 from repro.metrics.bandwidth import (
-    QueryTraffic,
     average_partial_result_messages,
     average_query_bytes,
     query_traffic_breakdown,

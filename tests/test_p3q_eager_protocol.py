@@ -4,10 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.queries import Query
 from repro.p3q.config import P3QConfig
 from repro.p3q.eager import EagerGossipProtocol
-from repro.p3q.node import P3QNode
 from repro.p3q.protocol import P3QSimulation
 from repro.simulator.stats import (
     KIND_PARTIAL_RESULT,

@@ -6,8 +6,8 @@ import pytest
 
 from repro.baselines.centralized import CentralizedTopK
 from repro.data.dynamics import DynamicsConfig, ProfileDynamicsGenerator, massive_departure
-from repro.data.queries import Query, QueryWorkloadGenerator
-from repro.metrics.recall import average_recall, recall
+from repro.data.queries import Query
+from repro.metrics.recall import average_recall
 from repro.p3q.config import P3QConfig
 from repro.p3q.protocol import P3QSimulation
 from repro.similarity.knn import IdealNetworkIndex

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data.models import Dataset, UserProfile
+from repro.data.models import UserProfile
 from repro.similarity import (
     IdealNetworkIndex,
     common_actions,

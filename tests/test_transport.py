@@ -1,0 +1,378 @@
+"""Unit tests for the message-passing transport layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.sizes import (
+    DIGEST_BYTES,
+    TAGGING_ACTION_BYTES,
+    USER_ID_BYTES,
+    digest_message_size,
+    partial_result_size,
+    remaining_list_size,
+    tagging_actions_size,
+    total_bytes,
+)
+from repro.p3q.config import P3QConfig
+from repro.p3q.node import P3QNode
+from repro.p3q.query import PartialResult
+from repro.simulator.network import Network
+from repro.simulator.stats import (
+    KIND_COMMON_ITEMS,
+    KIND_DIGESTS,
+    KIND_PARTIAL_RESULT,
+    KIND_RANDOM_VIEW,
+)
+from repro.simulator.transport import (
+    DEFERRED,
+    DELIVERED,
+    DROPPED,
+    REPLY_DROPPED,
+    UNREACHABLE,
+    VIEW_PERSONAL,
+    VIEW_RANDOM,
+    CommonItemsReply,
+    CommonItemsRequest,
+    DigestAdvertisement,
+    DirectTransport,
+    FullProfilePush,
+    FullProfileRequest,
+    LatencyTransport,
+    LossyTransport,
+    QueryResult,
+    RemainingReturn,
+    make_transport,
+)
+
+
+@pytest.fixture()
+def pair(tiny_dataset):
+    """Two wired nodes plus their network (direct transport)."""
+    config = P3QConfig(
+        network_size=4, storage=2, random_view_size=3, digest_bits=1_024, digest_hashes=4, seed=3
+    )
+    network = Network()
+    nodes = {}
+    for profile in tiny_dataset.profiles():
+        node = P3QNode(profile, config)
+        nodes[node.node_id] = node
+        network.add_node(node)
+    return network, nodes
+
+
+def _digest_ad(node, view=VIEW_RANDOM):
+    return DigestAdvertisement(digests=(node.own_digest(),), view=view)
+
+
+class TestMessageCatalogue:
+    def test_messages_are_frozen(self, pair):
+        _, nodes = pair
+        message = _digest_ad(nodes[0])
+        with pytest.raises(AttributeError):
+            message.view = VIEW_PERSONAL
+
+    def test_advertisement_kind_follows_view(self, pair):
+        _, nodes = pair
+        assert _digest_ad(nodes[0], VIEW_RANDOM).kind == KIND_RANDOM_VIEW
+        assert _digest_ad(nodes[0], VIEW_PERSONAL).kind == KIND_DIGESTS
+
+    def test_control_messages_have_no_kind(self):
+        assert CommonItemsRequest(subject_id=1, items=frozenset({2})).kind is None
+        assert FullProfileRequest(subject_id=1).kind is None
+
+    def test_none_payload_replies_are_not_accountable(self):
+        assert not CommonItemsReply(subject_id=1, actions=None).accountable
+        assert not FullProfilePush(subject_id=1, profile=None).accountable
+        assert CommonItemsReply(subject_id=1, actions=frozenset()).accountable
+
+
+class TestTotalBytes:
+    def test_sizes_share_the_paper_cost_model(self, pair, tiny_dataset):
+        _, nodes = pair
+        ad = DigestAdvertisement(digests=(nodes[0].own_digest(), nodes[1].own_digest()), view=VIEW_RANDOM)
+        assert total_bytes(ad) == digest_message_size(2) == 2 * (DIGEST_BYTES + USER_ID_BYTES)
+
+        profile = tiny_dataset.profile(0)
+        push = FullProfilePush(subject_id=0, profile=profile)
+        assert total_bytes(push) == tagging_actions_size(len(profile))
+
+        actions = frozenset(profile.actions)
+        reply = CommonItemsReply(subject_id=0, actions=actions)
+        assert total_bytes(reply) == len(actions) * TAGGING_ACTION_BYTES
+
+        partial = PartialResult(query_id=1, sender=0, scores={1: 2.0, 2: 1.0}, contributors=(0, 1), cycle=0)
+        assert total_bytes(QueryResult(partial=partial)) == partial_result_size(2, 2)
+
+        ret = RemainingReturn(query_id=1, remaining=(1, 2, 3))
+        assert total_bytes(ret) == remaining_list_size(3)
+
+    def test_control_and_failure_messages_are_free(self):
+        assert total_bytes(CommonItemsRequest(subject_id=1, items=frozenset({1}))) == 0
+        assert total_bytes(FullProfileRequest(subject_id=1)) == 0
+        assert total_bytes(CommonItemsReply(subject_id=1, actions=None)) == 0
+        assert total_bytes(FullProfilePush(subject_id=1, profile=None)) == 0
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(TypeError):
+            total_bytes(object())
+
+
+class TestDirectTransport:
+    def test_request_round_trip_and_accounting(self, pair):
+        network, nodes = pair
+        items = frozenset(nodes[0].profile.items)
+        dispatch = network.transport.request(
+            0, 1, CommonItemsRequest(subject_id=1, items=items)
+        )
+        assert dispatch.status == DELIVERED
+        assert dispatch.reply is not None
+        assert dispatch.reply.actions  # users 0 and 1 share items
+        # One accounted message: the reply (requests are free control traffic).
+        assert network.stats.total_messages() == 1
+        assert network.stats.total_bytes(KIND_COMMON_ITEMS) == total_bytes(dispatch.reply)
+        record = network.stats.records[0]
+        assert (record.sender, record.receiver) == (1, 0)
+
+    def test_offline_receiver_is_unreachable(self, pair):
+        network, nodes = pair
+        network.depart([1])
+        dispatch = network.transport.request(0, 1, FullProfileRequest(subject_id=1))
+        assert dispatch.status == UNREACHABLE
+        assert network.stats.total_messages() == 0
+
+    def test_receiver_without_handler_is_unreachable(self, pair):
+        network, _ = pair
+        from repro.simulator.node import Node
+
+        network.add_node(Node(99))
+        dispatch = network.transport.request(0, 99, FullProfileRequest(subject_id=0))
+        assert dispatch.status == UNREACHABLE
+
+    def test_account_flag_suppresses_recording(self, pair):
+        network, nodes = pair
+        network.transport.request(
+            0, 1, CommonItemsRequest(subject_id=1, items=frozenset(nodes[0].profile.items)),
+            account=False,
+        )
+        assert network.stats.total_messages() == 0
+
+    def test_one_way_send_delivers_partial_results(self, pair):
+        network, nodes = pair
+        from repro.data.queries import Query
+
+        query = Query(query_id=7, querier=0, tags=(100,))
+        session = nodes[0].issue_query(query)
+        partial = PartialResult(query_id=7, sender=1, scores={5: 1.0}, contributors=(1,), cycle=1)
+        status = network.transport.send(1, 0, QueryResult(partial=partial), query_id=7)
+        assert status == DELIVERED
+        assert network.stats.query_bytes(7).get(KIND_PARTIAL_RESULT, 0) > 0
+        session.close_cycle(1)
+        assert 1 in session.profiles_used
+
+    def test_pending_count_is_zero(self, pair):
+        network, _ = pair
+        assert network.transport.pending_count() == 0
+        assert network.transport.drain() == 0
+
+
+class TestLossyTransport:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyTransport(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            LatencyTransport(delay_cycles=-1)
+        with pytest.raises(ValueError):
+            make_transport("bogus")
+
+    def test_full_loss_drops_everything(self, pair, tiny_dataset):
+        config = P3QConfig(
+            network_size=4, storage=2, random_view_size=3,
+            digest_bits=1_024, digest_hashes=4, seed=3,
+        )
+        network = Network(transport=LossyTransport(loss_rate=1.0, seed=1))
+        nodes = {}
+        for profile in tiny_dataset.profiles():
+            node = P3QNode(profile, config)
+            nodes[node.node_id] = node
+            network.add_node(node)
+        dispatch = network.transport.request(
+            0, 1, CommonItemsRequest(subject_id=1, items=frozenset(nodes[0].profile.items))
+        )
+        assert dispatch.status == DROPPED
+        assert dispatch.reply is None
+
+    def test_drop_stream_is_deterministic(self):
+        a = LossyTransport(loss_rate=0.5, seed=9)
+        b = LossyTransport(loss_rate=0.5, seed=9)
+        message = FullProfileRequest(subject_id=1)
+        rolls_a = [a._roll_drop(message) for _ in range(50)]
+        rolls_b = [b._roll_drop(message) for _ in range(50)]
+        assert rolls_a == rolls_b
+        assert any(rolls_a) and not all(rolls_a)
+
+    def test_zero_rate_consumes_no_randomness(self):
+        transport = LossyTransport(loss_rate=0.0, seed=9)
+        state = transport.drop_rng.getstate()
+        assert not transport._roll_drop(FullProfileRequest(subject_id=1))
+        assert transport.drop_rng.getstate() == state
+
+    def test_dropped_reply_is_distinguished_from_dropped_request(self, tiny_dataset):
+        """A lost reply must not look like a lost request: the receiver's
+        side effects already happened, so callers must not retry."""
+
+        class ScriptedDropTransport(LossyTransport):
+            def __init__(self, script):
+                super().__init__(loss_rate=0.5, seed=0)  # rate only enables rolling
+                self.script = list(script)
+
+            def _roll_drop(self, message):
+                return self.script.pop(0) if self.script else False
+
+        config = P3QConfig(
+            network_size=4, storage=2, random_view_size=3,
+            digest_bits=1_024, digest_hashes=4, seed=3,
+        )
+        # Script: request leg delivered (False), reply leg dropped (True).
+        network = Network(transport=ScriptedDropTransport([False, True]))
+        nodes = {}
+        for profile in tiny_dataset.profiles():
+            node = P3QNode(profile, config)
+            nodes[node.node_id] = node
+            network.add_node(node)
+        items = frozenset(nodes[0].profile.items)
+        dispatch = network.transport.request(
+            0, 1, CommonItemsRequest(subject_id=1, items=items)
+        )
+        assert dispatch.status == REPLY_DROPPED
+        assert dispatch.reply is None
+
+    def test_reply_dropped_forward_hands_off_the_remaining_list(self, synthetic_dataset):
+        """Eager semantics: when the destination processed the forward but
+        the return was lost, the initiator must NOT keep (and re-forward)
+        the list -- the destination already took its share."""
+        from repro.data.queries import QueryWorkloadGenerator
+        from repro.p3q.protocol import P3QSimulation
+
+        class ReplyDropTransport(LossyTransport):
+            """Drops exactly the replies to QueryForward messages."""
+
+            def __init__(self):
+                super().__init__(loss_rate=0.5, seed=0)
+
+            def _roll_drop(self, message):
+                return isinstance(message, RemainingReturn)
+
+        config = P3QConfig(
+            network_size=20, storage=5, random_view_size=5,
+            digest_bits=2_048, digest_hashes=5, seed=5,
+        )
+        simulation = P3QSimulation(synthetic_dataset.copy(), config)
+        # Swap the transport for the scripted one (attach rebinds it).
+        simulation.network.transport = ReplyDropTransport()
+        simulation.network.transport.attach(simulation.network)
+        simulation.warm_start()
+        query = QueryWorkloadGenerator(simulation.dataset, seed=9).query_for(
+            simulation.dataset.user_ids[0]
+        )
+        node = simulation.nodes[query.querier]
+        session = node.issue_query(query)
+        if not session.remaining:
+            pytest.skip("querier stores her whole network at this storage budget")
+        before = list(session.remaining)
+        returned = simulation.eager.gossip_query(
+            node, query, before, simulation.network, cycle=1
+        )
+        # The destination processed the list (its kept share and partial
+        # result happened), the return was dropped: responsibility is NOT
+        # retained by the initiator.
+        assert returned == []
+
+
+class TestLatencyTransport:
+    def _network(self, tiny_dataset, transport):
+        config = P3QConfig(
+            network_size=4, storage=2, random_view_size=3,
+            digest_bits=1_024, digest_hashes=4, seed=3,
+        )
+        network = Network(transport=transport)
+        nodes = {}
+        for profile in tiny_dataset.profiles():
+            node = P3QNode(profile, config)
+            nodes[node.node_id] = node
+            network.add_node(node)
+        return network, nodes
+
+    def test_deferrable_messages_queue_and_drain(self, tiny_dataset):
+        transport = LatencyTransport(delay_cycles=3, seed=2)
+        network, nodes = self._network(tiny_dataset, transport)
+        # Try until a non-zero delay is rolled (delays are uniform on 0..3).
+        deferred = None
+        for _ in range(16):
+            dispatch = network.transport.request(
+                0, 1, _digest_ad(nodes[0], VIEW_RANDOM)
+            )
+            if dispatch.status == DEFERRED:
+                deferred = dispatch
+                break
+        assert deferred is not None
+        assert transport.pending_count() > 0
+        # Advancing the clock past the max delay flushes the queue; the
+        # deferred exchange's reply routes back to node 0 asynchronously.
+        network.current_cycle += 4
+        assert transport.drain() >= 1
+        # The partner processed the advertisement when it drained (her view
+        # was empty, so the initiator's digest must now be in it).
+        assert 0 in nodes[1].random_view
+
+    def test_control_requests_are_never_deferred(self, tiny_dataset):
+        transport = LatencyTransport(delay_cycles=5, seed=2)
+        network, nodes = self._network(tiny_dataset, transport)
+        for _ in range(20):
+            dispatch = network.transport.request(
+                0, 1, CommonItemsRequest(subject_id=1, items=frozenset(nodes[0].profile.items))
+            )
+            assert dispatch.status == DELIVERED
+
+    def test_delay_stream_is_deterministic(self):
+        a = LatencyTransport(delay_cycles=4, seed=11)
+        b = LatencyTransport(delay_cycles=4, seed=11)
+        message = RemainingReturn(query_id=1, remaining=(1,))
+        assert [a._roll_delay(message) for _ in range(50)] == [
+            b._roll_delay(message) for _ in range(50)
+        ]
+
+    def test_message_to_departed_node_is_lost(self, tiny_dataset):
+        transport = LatencyTransport(delay_cycles=2, seed=4)
+        network, nodes = self._network(tiny_dataset, transport)
+        deferred = False
+        for _ in range(16):
+            dispatch = network.transport.request(0, 1, _digest_ad(nodes[0]))
+            if dispatch.status == DEFERRED:
+                deferred = True
+                break
+        assert deferred
+        network.depart([1])
+        network.current_cycle += 3
+        assert transport.drain() == 0  # receiver gone: message lost silently
+        assert transport.pending_count() == 0
+
+
+class TestMakeTransport:
+    def test_builds_each_flavour(self):
+        assert isinstance(make_transport("direct"), DirectTransport)
+        lossy = make_transport("lossy", loss_rate=0.3, seed=5)
+        assert isinstance(lossy, LossyTransport) and lossy.loss_rate == 0.3
+        latency = make_transport("latency", delay_cycles=2, loss_rate=0.1, seed=5)
+        assert isinstance(latency, LatencyTransport)
+        assert latency.delay_cycles == 2 and latency.loss_rate == 0.1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            P3QConfig(transport="carrier-pigeon")
+        with pytest.raises(ValueError):
+            P3QConfig(loss_rate=2.0)
+        with pytest.raises(ValueError):
+            P3QConfig(delay_cycles=-1)
+        config = P3QConfig().with_transport("latency", loss_rate=0.1, delay_cycles=3)
+        assert (config.transport, config.loss_rate, config.delay_cycles) == ("latency", 0.1, 3)
