@@ -76,6 +76,17 @@ class P3QConfig:
             raise ValueError("loss_rate must be in [0, 1]")
         if self.delay_cycles < 0:
             raise ValueError("delay_cycles must be non-negative")
+        # Reject conditions the named transport would silently ignore: a
+        # config carrying them describes a run that will not happen.
+        if self.transport == "direct" and (self.loss_rate or self.delay_cycles):
+            raise ValueError(
+                "transport 'direct' ignores loss_rate/delay_cycles; "
+                "use 'lossy' or 'latency'"
+            )
+        if self.transport == "lossy" and self.delay_cycles:
+            raise ValueError(
+                "transport 'lossy' ignores delay_cycles; use 'latency'"
+            )
 
     def storage_for(self, user_id: int) -> int:
         """The stored-profile budget ``c`` of one user."""

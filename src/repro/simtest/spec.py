@@ -1,0 +1,366 @@
+"""Scenario specifications and their seeded random generator.
+
+A :class:`ScenarioSpec` is a *complete, frozen* description of one
+simulation-fuzzing run: the synthetic trace, the protocol parameters, the
+transport conditions, the churn schedule, the profile-dynamics mix and the
+query workload.  Everything downstream (the runner, the shrinker, the CLI)
+treats specs as values:
+
+* the same spec always produces the same run, bit for bit -- all randomness
+  inside a run derives from ``spec.seed``;
+* specs round-trip through JSON (:meth:`ScenarioSpec.to_json` /
+  :meth:`ScenarioSpec.from_json`), which is how a failing scenario is
+  reported and replayed;
+* :meth:`ScenarioSpec.repro_command` renders the exact shell command that
+  re-runs one spec standalone.
+
+:class:`ScenarioGenerator` samples random specs.  Sampling is indexed --
+``generator.spec(i)`` derives its own RNG stream from ``(master_seed, i)``
+-- so spec ``i`` is identical whether specs ``0..i-1`` were generated or
+not, and a failure report only needs ``(master_seed, index)`` to name the
+scenario it came from.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shlex
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..simulator.engine import PHASE_EAGER, PHASE_LAZY
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A simultaneous massive departure, optionally followed by a rejoin.
+
+    ``fraction`` of the currently online population departs at the start of
+    phase-local cycle ``cycle`` of ``phase``; with ``rejoin_after > 0`` the
+    same users come back that many cycles later (in the same phase).  Both
+    the departure and the rejoin must land strictly inside the phase horizon
+    (:class:`ScenarioSpec` validates this): the engine only fires events of
+    cycles that actually run, so a rejoin at or beyond the horizon would
+    silently never happen.
+    """
+
+    phase: str
+    cycle: int
+    fraction: float
+    rejoin_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.phase not in (PHASE_LAZY, PHASE_EAGER):
+            raise ValueError(f"phase must be lazy or eager, got {self.phase!r}")
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if not 0.0 < self.fraction <= 0.5:
+            raise ValueError("fraction must be in (0, 0.5]")
+        if self.rejoin_after < 0:
+            raise ValueError("rejoin_after must be non-negative")
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """One day of synthetic profile changes applied during the lazy phase."""
+
+    #: Lazy cycle at the start of which the change day is applied.
+    at_cycle: int
+    #: Fraction of users changing their profiles that day.
+    change_fraction: float
+    #: Mean number of new tagging actions per changing user.
+    mean_new_actions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.at_cycle < 0:
+            raise ValueError("at_cycle must be non-negative")
+        if not 0.0 < self.change_fraction <= 1.0:
+            raise ValueError("change_fraction must be in (0, 1]")
+        if self.mean_new_actions < 1:
+            raise ValueError("mean_new_actions must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-determined fuzzing scenario."""
+
+    #: Where the spec came from (purely informational, carried into reports).
+    master_seed: int = 0
+    index: int = 0
+
+    # -- synthetic trace ------------------------------------------------------
+    num_users: int = 36
+    num_items: int = 260
+    num_tags: int = 80
+    num_communities: int = 4
+    mean_actions_per_user: int = 22
+    dataset_seed: int = 11
+
+    # -- protocol parameters --------------------------------------------------
+    network_size: int = 12
+    storage: int = 4
+    random_view_size: int = 5
+    k: int = 8
+    alpha: float = 0.5
+    exchange_size: int = 10
+    digest_bits: int = 1_024
+    digest_hashes: int = 4
+
+    # -- transport conditions -------------------------------------------------
+    transport: str = "direct"
+    loss_rate: float = 0.0
+    delay_cycles: int = 0
+
+    # -- schedule -------------------------------------------------------------
+    lazy_cycles: int = 6
+    eager_cycles: int = 10
+    num_queries: int = 6
+    churn: Tuple[ChurnEvent, ...] = ()
+    dynamics: Optional[DynamicsSpec] = None
+
+    #: Root seed of every RNG stream inside the run.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users < 4:
+            raise ValueError("num_users must be at least 4")
+        if self.network_size <= 0 or self.network_size >= self.num_users:
+            raise ValueError("network_size must be in [1, num_users)")
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be positive")
+        if self.lazy_cycles < 1 or self.eager_cycles < 1:
+            raise ValueError("cycle counts must be positive")
+        for event in self.churn:
+            limit = self.lazy_cycles if event.phase == PHASE_LAZY else self.eager_cycles
+            if event.cycle >= limit:
+                raise ValueError(
+                    f"churn event at {event.phase} cycle {event.cycle} is outside "
+                    f"the {limit}-cycle horizon"
+                )
+            if event.rejoin_after and event.cycle + event.rejoin_after >= limit:
+                raise ValueError(
+                    f"churn rejoin at {event.phase} cycle "
+                    f"{event.cycle + event.rejoin_after} is outside the "
+                    f"{limit}-cycle horizon (it would silently never fire)"
+                )
+        if self.dynamics is not None and self.dynamics.at_cycle >= self.lazy_cycles:
+            raise ValueError("dynamics.at_cycle is outside the lazy horizon")
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def direct_equivalent(self) -> bool:
+        """True when the configured conditions degrade to the direct wire."""
+        return self.loss_rate == 0.0 and self.delay_cycles == 0
+
+    @property
+    def quiescent(self) -> bool:
+        """No churn and no profile dynamics: the steady-state setting under
+        which the strongest invariants (full recall, exact convergence)
+        apply."""
+        return not self.churn and self.dynamics is None
+
+    def describe(self) -> str:
+        """A one-line summary for progress output."""
+        parts = [
+            f"users={self.num_users}",
+            f"s={self.network_size}",
+            f"c={self.storage}",
+            f"alpha={self.alpha}",
+            f"transport={self.transport}",
+        ]
+        if self.loss_rate:
+            parts.append(f"loss={self.loss_rate}")
+        if self.delay_cycles:
+            parts.append(f"delay={self.delay_cycles}")
+        parts.append(f"lazy={self.lazy_cycles}")
+        parts.append(f"eager={self.eager_cycles}")
+        parts.append(f"queries={self.num_queries}")
+        if self.churn:
+            parts.append(f"churn={len(self.churn)}")
+        if self.dynamics is not None:
+            parts.append("dynamics")
+        return " ".join(parts)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["churn"] = [asdict(event) for event in self.churn]
+        data["dynamics"] = None if self.dynamics is None else asdict(self.dynamics)
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        payload = dict(data)
+        payload["churn"] = tuple(
+            ChurnEvent(**event) for event in payload.get("churn", ())
+        )
+        dynamics = payload.get("dynamics")
+        payload["dynamics"] = None if dynamics is None else DynamicsSpec(**dynamics)
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def repro_command(self) -> str:
+        """The shell command replaying exactly this scenario."""
+        return (
+            "PYTHONPATH=src python -m repro.simtest "
+            f"--spec-json {shlex.quote(self.to_json())}"
+        )
+
+    def but(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with some fields replaced (shrinking helper)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class GeneratorRanges:
+    """Sampling bounds of :class:`ScenarioGenerator`.
+
+    The defaults keep one scenario well under a second so a 50-seed batch
+    finishes in tens of seconds; widen them for longer offline campaigns.
+    """
+
+    users: Tuple[int, int] = (24, 56)
+    network_size: Tuple[int, int] = (8, 20)
+    storage: Tuple[int, int] = (2, 8)
+    random_view: Tuple[int, int] = (4, 8)
+    k: Tuple[int, int] = (5, 10)
+    exchange_size: Tuple[int, int] = (6, 14)
+    lazy_cycles: Tuple[int, int] = (3, 8)
+    eager_cycles: Tuple[int, int] = (8, 14)
+    queries: Tuple[int, int] = (3, 10)
+    alphas: Tuple[float, ...] = (0.0, 0.3, 0.5, 0.7, 1.0)
+    loss_rates: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.4)
+    delay_choices: Tuple[int, ...] = (1, 2, 3)
+    #: Probability of a lossy / latency / zero-condition-stochastic scenario
+    #: (the remainder runs the direct transport).
+    p_lossy: float = 0.3
+    p_latency: float = 0.25
+    p_zero_conditions: float = 0.1
+    p_churn: float = 0.35
+    p_rejoin: float = 0.5
+    p_dynamics: float = 0.3
+
+
+class ScenarioGenerator:
+    """Deterministic, indexed sampling of :class:`ScenarioSpec` values."""
+
+    def __init__(self, master_seed: int = 0, ranges: Optional[GeneratorRanges] = None) -> None:
+        self.master_seed = master_seed
+        self.ranges = ranges or GeneratorRanges()
+
+    def spec(self, index: int) -> ScenarioSpec:
+        """The ``index``-th scenario of this generator's stream."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        rng = random.Random(f"{self.master_seed}/simtest/scenario/{index}")
+        r = self.ranges
+
+        num_users = rng.randint(*r.users)
+        network_size = min(rng.randint(*r.network_size), num_users - 1)
+        lazy_cycles = rng.randint(*r.lazy_cycles)
+        eager_cycles = rng.randint(*r.eager_cycles)
+
+        transport, loss_rate, delay_cycles = self._sample_conditions(rng)
+        churn = self._sample_churn(rng, lazy_cycles, eager_cycles)
+        dynamics = self._sample_dynamics(rng, lazy_cycles)
+
+        return ScenarioSpec(
+            master_seed=self.master_seed,
+            index=index,
+            num_users=num_users,
+            num_items=num_users * rng.randint(5, 9),
+            num_tags=num_users * 2,
+            num_communities=rng.randint(3, 6),
+            mean_actions_per_user=rng.randint(14, 30),
+            dataset_seed=rng.randrange(2**16),
+            network_size=network_size,
+            storage=min(rng.randint(*r.storage), network_size),
+            random_view_size=rng.randint(*r.random_view),
+            k=rng.randint(*r.k),
+            alpha=rng.choice(r.alphas),
+            exchange_size=rng.randint(*r.exchange_size),
+            digest_bits=rng.choice((512, 1_024, 2_048)),
+            digest_hashes=rng.randint(3, 6),
+            transport=transport,
+            loss_rate=loss_rate,
+            delay_cycles=delay_cycles,
+            lazy_cycles=lazy_cycles,
+            eager_cycles=eager_cycles,
+            num_queries=rng.randint(*r.queries),
+            churn=churn,
+            dynamics=dynamics,
+            seed=rng.randrange(2**16),
+        )
+
+    def specs(self, count: int, start: int = 0):
+        """Iterate ``count`` consecutive specs starting at ``start``."""
+        for index in range(start, start + count):
+            yield self.spec(index)
+
+    # -- sampling pieces ------------------------------------------------------
+
+    def _sample_conditions(self, rng: random.Random) -> Tuple[str, float, int]:
+        r = self.ranges
+        draw = rng.random()
+        if draw < r.p_zero_conditions:
+            # Stochastic transports at zero rates: the runner double-checks
+            # these degrade bit-identically to the direct wire.
+            return (rng.choice(("lossy", "latency")), 0.0, 0)
+        if draw < r.p_zero_conditions + r.p_lossy:
+            return ("lossy", rng.choice(r.loss_rates), 0)
+        if draw < r.p_zero_conditions + r.p_lossy + r.p_latency:
+            loss = rng.choice((0.0,) + r.loss_rates)
+            return ("latency", loss, rng.choice(r.delay_choices))
+        return ("direct", 0.0, 0)
+
+    def _sample_churn(
+        self, rng: random.Random, lazy_cycles: int, eager_cycles: int
+    ) -> Tuple[ChurnEvent, ...]:
+        if rng.random() >= self.ranges.p_churn:
+            return ()
+        events = []
+        for _ in range(rng.randint(1, 2)):
+            phase = rng.choice((PHASE_LAZY, PHASE_EAGER))
+            horizon = lazy_cycles if phase == PHASE_LAZY else eager_cycles
+            cycle = rng.randint(1, max(1, horizon - 1))
+            # The rejoin must land on a cycle that actually runs (< horizon);
+            # when no such cycle exists the departure is simply permanent.
+            rejoin_after = 0
+            latest_rejoin = horizon - 1 - cycle
+            if latest_rejoin >= 1 and rng.random() < self.ranges.p_rejoin:
+                rejoin_after = rng.randint(1, latest_rejoin)
+            events.append(
+                ChurnEvent(
+                    phase=phase,
+                    cycle=cycle,
+                    fraction=rng.choice((0.1, 0.2, 0.3, 0.5)),
+                    rejoin_after=rejoin_after,
+                )
+            )
+        # At most one event per (phase, cycle) keeps schedules unambiguous.
+        seen = set()
+        unique = []
+        for event in events:
+            key = (event.phase, event.cycle)
+            if key not in seen:
+                seen.add(key)
+                unique.append(event)
+        return tuple(unique)
+
+    def _sample_dynamics(self, rng: random.Random, lazy_cycles: int) -> Optional[DynamicsSpec]:
+        if rng.random() >= self.ranges.p_dynamics:
+            return None
+        return DynamicsSpec(
+            at_cycle=rng.randint(1, max(1, lazy_cycles - 1)),
+            change_fraction=rng.choice((0.1, 0.2, 0.4)),
+            mean_new_actions=rng.randint(2, 8),
+        )

@@ -51,13 +51,26 @@ message still costs its sender bandwidth).  Pure control messages (the two
 request types, which the paper's cost model does not charge) and failure
 replies carrying a ``None`` payload are never recorded, which reproduces the
 seed's accounting exactly.
+
+Observation
+-----------
+
+Every transport accepts *observers* (:meth:`Transport.add_observer`): callables
+receiving one :class:`WireEvent` per wire action -- request legs, reply legs,
+one-way sends and deferred (drained) deliveries, each with its final delivery
+status and whether the accounting hook ran for it.  Observers are passive:
+they cannot alter delivery, and with none registered the hot paths pay a
+single falsy check per message.  The simulation-fuzzing subsystem
+(:mod:`repro.simtest`) uses them to cross-check byte accounting and query
+lifecycle invariants against an independent model of the wire.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, NamedTuple, Optional, Tuple
 
 from .stats import (
     KIND_COMMON_ITEMS,
@@ -88,6 +101,9 @@ DROPPED = "dropped"
 REPLY_DROPPED = "reply_dropped"
 DEFERRED = "deferred"
 UNREACHABLE = "unreachable"
+#: A deferred envelope whose receiver departed while it was in flight (the
+#: bytes were already spent at send time; only observers ever see this).
+LOST = "lost"
 
 
 # ------------------------------------------------------------------- messages
@@ -245,6 +261,37 @@ class Dispatch:
         return f"Dispatch({self.status}, reply={type(self.reply).__name__ if self.reply else None})"
 
 
+#: ``WireEvent.op`` values.
+OP_REQUEST = "request"
+OP_REPLY = "reply"
+OP_SEND = "send"
+OP_DRAIN = "drain"
+
+
+class WireEvent(NamedTuple):
+    """One observable wire action, reported to transport observers.
+
+    ``op`` is the leg (:data:`OP_REQUEST` for the forward leg of a round
+    trip, :data:`OP_REPLY` for its answer, :data:`OP_SEND` for a one-way
+    send, :data:`OP_DRAIN` for a deferred envelope delivered -- or lost --
+    by :meth:`Transport.drain`); ``status`` is the leg's final delivery
+    status and ``accounted`` records whether the byte-accounting hook ran
+    for this message (drained envelopes were accounted when first sent).
+    """
+
+    op: str
+    sender: int
+    receiver: int
+    message: Message
+    status: str
+    accounted: bool
+    query_id: Optional[int]
+
+
+#: An observer: called once per wire event, must not mutate anything.
+TransportObserver = Callable[[WireEvent], None]
+
+
 #: Reply-less outcomes are immutable, so one instance each serves every call
 #: (the request path is hot: thousands of control round-trips per cycle).
 _UNREACHABLE_DISPATCH = Dispatch(UNREACHABLE, None)
@@ -272,6 +319,8 @@ class Transport:
         self._total_bytes = None
         #: absolute global cycle -> envelopes due at that cycle (FIFO).
         self._queue: Dict[int, List[Envelope]] = {}
+        #: Passive observers notified of every wire event (see WireEvent).
+        self._observers: List[TransportObserver] = []
 
     # -- wiring ---------------------------------------------------------------
 
@@ -288,6 +337,29 @@ class Transport:
 
         self._network = network
         self._total_bytes = total_bytes
+
+    # -- observation ----------------------------------------------------------
+
+    def add_observer(self, observer: TransportObserver) -> None:
+        """Register a passive observer of every wire event."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: TransportObserver) -> None:
+        self._observers.remove(observer)
+
+    def _notify(
+        self,
+        op: str,
+        sender: int,
+        receiver: int,
+        message: Message,
+        status: str,
+        accounted: bool,
+        query_id: Optional[int],
+    ) -> None:
+        event = WireEvent(op, sender, receiver, message, status, accounted, query_id)
+        for observer in self._observers:
+            observer(event)
 
     # -- condition hooks (overridden by lossy/latency transports) -------------
 
@@ -315,17 +387,25 @@ class Transport:
         node = self._network.try_contact(receiver)
         handler = getattr(node, "handle_message", None)
         if handler is None:
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, UNREACHABLE, False, query_id)
             return _UNREACHABLE_DISPATCH
         if account:
             self._account(sender, receiver, message, query_id)
         if self._roll_drop(message):
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, DROPPED, account, query_id)
             return _DROPPED_DISPATCH
         delay = self._roll_delay(message)
         if delay > 0:
             self._enqueue(Envelope(sender, receiver, message, query_id, True, account), delay)
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, DEFERRED, account, query_id)
             return _DEFERRED_DISPATCH
         reply = handler(Envelope(sender, receiver, message, query_id, True, account))
         if reply is None:
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
             return _DELIVERED_SILENT_DISPATCH
         if account:
             self._account(receiver, sender, reply, query_id)
@@ -333,7 +413,13 @@ class Transport:
             # The receiver DID process the request; only its answer is lost.
             # Distinguished from DROPPED so callers do not retry work the
             # other side already performed.
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, REPLY_DROPPED, account, query_id)
+                self._notify(OP_REPLY, receiver, sender, reply, DROPPED, account, query_id)
             return _REPLY_DROPPED_DISPATCH
+        if self._observers:
+            self._notify(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
+            self._notify(OP_REPLY, receiver, sender, reply, DELIVERED, account, query_id)
         return Dispatch(DELIVERED, reply)
 
     def send(
@@ -348,16 +434,24 @@ class Transport:
         node = self._network.try_contact(receiver)
         handler = getattr(node, "handle_message", None)
         if handler is None:
+            if self._observers:
+                self._notify(OP_SEND, sender, receiver, message, UNREACHABLE, False, query_id)
             return UNREACHABLE
         if account:
             self._account(sender, receiver, message, query_id)
         if self._roll_drop(message):
+            if self._observers:
+                self._notify(OP_SEND, sender, receiver, message, DROPPED, account, query_id)
             return DROPPED
         delay = self._roll_delay(message)
         if delay > 0:
             self._enqueue(Envelope(sender, receiver, message, query_id, False, account), delay)
+            if self._observers:
+                self._notify(OP_SEND, sender, receiver, message, DEFERRED, account, query_id)
             return DEFERRED
         handler(Envelope(sender, receiver, message, query_id, False, account))
+        if self._observers:
+            self._notify(OP_SEND, sender, receiver, message, DELIVERED, account, query_id)
         return DELIVERED
 
     # -- deferred delivery ----------------------------------------------------
@@ -387,8 +481,28 @@ class Transport:
                 node = self._network.try_contact(envelope.receiver)
                 handler = getattr(node, "handle_message", None)
                 if handler is None:
+                    if self._observers:
+                        self._notify(
+                            OP_DRAIN,
+                            envelope.sender,
+                            envelope.receiver,
+                            envelope.message,
+                            LOST,
+                            False,
+                            envelope.query_id,
+                        )
                     continue
                 delivered += 1
+                if self._observers:
+                    self._notify(
+                        OP_DRAIN,
+                        envelope.sender,
+                        envelope.receiver,
+                        envelope.message,
+                        DELIVERED,
+                        False,
+                        envelope.query_id,
+                    )
                 reply = handler(envelope)
                 if reply is not None and envelope.expects_reply:
                     self.send(
@@ -447,14 +561,21 @@ class DirectTransport(Transport):
     ) -> Dispatch:
         handler = getattr(self._network.try_contact(receiver), "handle_message", None)
         if handler is None:
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, UNREACHABLE, False, query_id)
             return _UNREACHABLE_DISPATCH
         if account:
             self._account(sender, receiver, message, query_id)
         reply = handler(Envelope(sender, receiver, message, query_id, True, account))
         if reply is None:
+            if self._observers:
+                self._notify(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
             return _DELIVERED_SILENT_DISPATCH
         if account:
             self._account(receiver, sender, reply, query_id)
+        if self._observers:
+            self._notify(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
+            self._notify(OP_REPLY, receiver, sender, reply, DELIVERED, account, query_id)
         return Dispatch(DELIVERED, reply)
 
     def send(
@@ -467,10 +588,14 @@ class DirectTransport(Transport):
     ) -> str:
         handler = getattr(self._network.try_contact(receiver), "handle_message", None)
         if handler is None:
+            if self._observers:
+                self._notify(OP_SEND, sender, receiver, message, UNREACHABLE, False, query_id)
             return UNREACHABLE
         if account:
             self._account(sender, receiver, message, query_id)
         handler(Envelope(sender, receiver, message, query_id, False, account))
+        if self._observers:
+            self._notify(OP_SEND, sender, receiver, message, DELIVERED, account, query_id)
         return DELIVERED
 
 
@@ -486,9 +611,7 @@ class LossyTransport(Transport):
 
     def __init__(self, loss_rate: float, seed: int = 0) -> None:
         super().__init__()
-        if not 0.0 <= loss_rate <= 1.0:
-            raise ValueError("loss_rate must be in [0, 1]")
-        self.loss_rate = loss_rate
+        self.loss_rate = _validate_loss_rate(loss_rate)
         self._drop_rng = random.Random(f"{seed}/transport/loss")
 
     def _roll_drop(self, message: Message) -> bool:
@@ -515,9 +638,7 @@ class LatencyTransport(LossyTransport):
 
     def __init__(self, delay_cycles: int, seed: int = 0, loss_rate: float = 0.0) -> None:
         super().__init__(loss_rate, seed=seed)
-        if delay_cycles < 0:
-            raise ValueError("delay_cycles must be non-negative")
-        self.delay_cycles = delay_cycles
+        self.delay_cycles = _validate_delay_cycles(delay_cycles)
         self._delay_rng = random.Random(f"{seed}/transport/delay")
 
     def _roll_delay(self, message: Message) -> int:
@@ -530,16 +651,62 @@ class LatencyTransport(LossyTransport):
 TRANSPORT_NAMES = ("direct", "lossy", "latency")
 
 
+def _validate_loss_rate(loss_rate: float) -> float:
+    """A loss rate must be a finite real number in [0, 1].
+
+    NaN would silently disable every comparison-based drop roll and booleans
+    are almost certainly a mixed-up argument, so both are rejected rather
+    than accepted as degenerate probabilities.
+    """
+    if isinstance(loss_rate, bool) or not isinstance(loss_rate, (int, float)):
+        raise TypeError(f"loss_rate must be a number, got {loss_rate!r}")
+    if not math.isfinite(loss_rate) or not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate!r}")
+    return float(loss_rate)
+
+
+def _validate_delay_cycles(delay_cycles: int) -> int:
+    """A delay bound must be a non-negative integer.
+
+    A float (even an integral one) would only blow up cycles later inside
+    ``randint``, mid-simulation; failing at construction keeps the error at
+    the configuration site.
+    """
+    if isinstance(delay_cycles, bool) or not isinstance(delay_cycles, int):
+        raise TypeError(f"delay_cycles must be an int, got {delay_cycles!r}")
+    if delay_cycles < 0:
+        raise ValueError(f"delay_cycles must be non-negative, got {delay_cycles!r}")
+    return delay_cycles
+
+
 def make_transport(
     name: str,
     loss_rate: float = 0.0,
     delay_cycles: int = 0,
     seed: int = 0,
 ) -> Transport:
-    """Build a transport from configuration values."""
+    """Build a transport from configuration values.
+
+    Network-condition parameters that the named transport would silently
+    ignore (a loss rate on ``direct``, a delay on ``lossy``) are rejected:
+    a config carrying them describes a run the transport will not perform.
+    """
+    _validate_loss_rate(loss_rate)
+    _validate_delay_cycles(delay_cycles)
     if name == "direct":
+        if loss_rate or delay_cycles:
+            raise ValueError(
+                "the direct transport is lossless and synchronous; "
+                f"got loss_rate={loss_rate!r}, delay_cycles={delay_cycles!r} "
+                "(use 'lossy' or 'latency')"
+            )
         return DirectTransport()
     if name == "lossy":
+        if delay_cycles:
+            raise ValueError(
+                f"the lossy transport cannot delay messages; got delay_cycles={delay_cycles!r} "
+                "(use 'latency', which composes delay with a loss rate)"
+            )
         return LossyTransport(loss_rate, seed=seed)
     if name == "latency":
         return LatencyTransport(delay_cycles, seed=seed, loss_rate=loss_rate)

@@ -28,6 +28,10 @@ from repro.simulator.transport import (
     DEFERRED,
     DELIVERED,
     DROPPED,
+    OP_DRAIN,
+    OP_REPLY,
+    OP_REQUEST,
+    OP_SEND,
     REPLY_DROPPED,
     UNREACHABLE,
     VIEW_PERSONAL,
@@ -184,6 +188,36 @@ class TestLossyTransport:
             LatencyTransport(delay_cycles=-1)
         with pytest.raises(ValueError):
             make_transport("bogus")
+
+    @pytest.mark.parametrize("rate", [-0.01, 1.01, float("nan"), float("inf"), -float("inf")])
+    def test_out_of_range_and_non_finite_loss_rates_rejected(self, rate):
+        with pytest.raises(ValueError, match="loss_rate"):
+            LossyTransport(loss_rate=rate)
+        with pytest.raises(ValueError, match="loss_rate"):
+            LatencyTransport(delay_cycles=1, loss_rate=rate)
+
+    @pytest.mark.parametrize("rate", ["0.5", None, True, [0.5]])
+    def test_non_numeric_loss_rates_rejected(self, rate):
+        with pytest.raises(TypeError, match="loss_rate"):
+            LossyTransport(loss_rate=rate)
+
+    @pytest.mark.parametrize("delay", [-1, -100])
+    def test_negative_delays_rejected(self, delay):
+        with pytest.raises(ValueError, match="delay_cycles"):
+            LatencyTransport(delay_cycles=delay)
+
+    @pytest.mark.parametrize("delay", [1.5, 2.0, "3", None, True])
+    def test_non_integer_delays_rejected(self, delay):
+        """A float delay would only explode later inside randint; the
+        constructor is where the error belongs."""
+        with pytest.raises(TypeError, match="delay_cycles"):
+            LatencyTransport(delay_cycles=delay)
+
+    def test_boundary_rates_accepted(self):
+        assert LossyTransport(loss_rate=0.0).loss_rate == 0.0
+        assert LossyTransport(loss_rate=1.0).loss_rate == 1.0
+        assert LossyTransport(loss_rate=0).loss_rate == 0.0  # int zero coerced
+        assert LatencyTransport(delay_cycles=0).delay_cycles == 0
 
     def test_full_loss_drops_everything(self, pair, tiny_dataset):
         config = P3QConfig(
@@ -358,6 +392,86 @@ class TestLatencyTransport:
         assert transport.pending_count() == 0
 
 
+class TestObservers:
+    """WireEvent observation: passive, complete, zero-cost when absent."""
+
+    def test_round_trip_emits_request_and_reply_events(self, pair):
+        network, nodes = pair
+        events = []
+        network.transport.add_observer(events.append)
+        dispatch = network.transport.request(
+            0, 1, CommonItemsRequest(subject_id=1, items=frozenset(nodes[0].profile.items))
+        )
+        assert dispatch.status == DELIVERED
+        assert [(e.op, e.status, e.sender, e.receiver) for e in events] == [
+            (OP_REQUEST, DELIVERED, 0, 1),
+            (OP_REPLY, DELIVERED, 1, 0),
+        ]
+        assert all(e.accounted for e in events)
+
+    def test_unreachable_send_is_observed_unaccounted(self, pair):
+        network, _nodes = pair
+        events = []
+        network.transport.add_observer(events.append)
+        network.depart([1])
+        status = network.transport.send(0, 1, RemainingReturn(query_id=1, remaining=(2,)))
+        assert status == UNREACHABLE
+        assert len(events) == 1
+        assert events[0].op == OP_SEND
+        assert events[0].status == UNREACHABLE
+        assert events[0].accounted is False
+
+    def test_observers_can_be_removed(self, pair):
+        network, nodes = pair
+        events = []
+        network.transport.add_observer(events.append)
+        network.transport.remove_observer(events.append)
+        network.transport.send(0, 1, RemainingReturn(query_id=1, remaining=(2,)))
+        assert events == []
+
+    def test_drop_and_drain_events_on_stochastic_transports(self, tiny_dataset):
+        config = P3QConfig(
+            network_size=4, storage=2, random_view_size=3,
+            digest_bits=1_024, digest_hashes=4, seed=3,
+            transport="lossy", loss_rate=1.0,
+        )
+        network = Network(transport=LossyTransport(loss_rate=1.0, seed=1))
+        nodes = {}
+        for profile in tiny_dataset.profiles():
+            node = P3QNode(profile, config)
+            nodes[node.node_id] = node
+            network.add_node(node)
+        events = []
+        network.transport.add_observer(events.append)
+        network.transport.request(0, 1, _digest_ad(nodes[0], VIEW_RANDOM))
+        assert events[-1].status == DROPPED
+        assert events[-1].accounted  # a lost message still cost its sender
+
+    def test_deferred_and_drained_events(self, tiny_dataset):
+        config = P3QConfig(
+            network_size=4, storage=2, random_view_size=3,
+            digest_bits=1_024, digest_hashes=4, seed=3,
+            transport="latency", delay_cycles=3,
+        )
+        transport = LatencyTransport(delay_cycles=3, seed=2)
+        network = Network(transport=transport)
+        nodes = {}
+        for profile in tiny_dataset.profiles():
+            node = P3QNode(profile, config)
+            nodes[node.node_id] = node
+            network.add_node(node)
+        events = []
+        transport.add_observer(events.append)
+        for _ in range(16):
+            dispatch = network.transport.request(0, 1, _digest_ad(nodes[0], VIEW_RANDOM))
+            if dispatch.status == DEFERRED:
+                break
+        assert any(e.op == OP_REQUEST and e.status == DEFERRED for e in events)
+        network.current_cycle += 4
+        transport.drain()
+        assert any(e.op == OP_DRAIN and e.status == DELIVERED for e in events)
+
+
 class TestMakeTransport:
     def test_builds_each_flavour(self):
         assert isinstance(make_transport("direct"), DirectTransport)
@@ -376,3 +490,19 @@ class TestMakeTransport:
             P3QConfig(delay_cycles=-1)
         config = P3QConfig().with_transport("latency", loss_rate=0.1, delay_cycles=3)
         assert (config.transport, config.loss_rate, config.delay_cycles) == ("latency", 0.1, 3)
+
+    def test_ignored_conditions_rejected(self):
+        """Conditions the named transport would silently ignore are errors."""
+        with pytest.raises(ValueError, match="direct"):
+            make_transport("direct", loss_rate=0.2)
+        with pytest.raises(ValueError, match="direct"):
+            make_transport("direct", delay_cycles=1)
+        with pytest.raises(ValueError, match="lossy"):
+            make_transport("lossy", loss_rate=0.2, delay_cycles=1)
+        with pytest.raises(ValueError, match="direct"):
+            P3QConfig(transport="direct", loss_rate=0.2)
+        with pytest.raises(ValueError, match="lossy"):
+            P3QConfig(transport="lossy", delay_cycles=2)
+        # Zero-valued conditions remain fine on every transport.
+        assert isinstance(make_transport("direct"), DirectTransport)
+        assert isinstance(make_transport("lossy", loss_rate=0.0), LossyTransport)
