@@ -6,6 +6,8 @@ Usage (from the repository root)::
     python -m benchmarks.perf --quick         # CI smoke run on a tiny network
     python -m benchmarks.perf --validate BENCH_p3q.json
     python -m benchmarks.perf --compare /tmp/BENCH_now.json --against BENCH_p3q.json
+    python -m benchmarks.perf --scale --profile  # adds N=5000/10000 + phase timings
+    python -m benchmarks.perf --scale-smoke 10000 --budget-seconds 120
 
 The harness measures the two hot paths the performance layer optimizes --
 Bloom-digest operations and similarity scoring -- against their seed
@@ -27,9 +29,11 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 
 from .harness import (  # noqa: E402
     DEFAULT_REPORT_NAME,
+    SCALE_MACRO_SIZES,
     SCHEMA_VERSION,
     bench_digest,
     bench_macro,
+    bench_scale_smoke,
     bench_similarity,
     compare_reports,
     main,
@@ -40,9 +44,11 @@ from .harness import (  # noqa: E402
 
 __all__ = [
     "DEFAULT_REPORT_NAME",
+    "SCALE_MACRO_SIZES",
     "SCHEMA_VERSION",
     "bench_digest",
     "bench_macro",
+    "bench_scale_smoke",
     "bench_similarity",
     "compare_reports",
     "main",

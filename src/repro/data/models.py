@@ -60,6 +60,7 @@ class UserProfile:
         "_tag_items",
         "_version",
         "_cache",
+        "_shared",
     )
 
     def __init__(self, user_id: int, actions: Iterable[TaggingAction] = ()) -> None:
@@ -72,6 +73,9 @@ class UserProfile:
         #: Per-version cache of frozen views; cleared whenever the stored
         #: version key no longer matches :attr:`version`.
         self._cache: Dict[object, object] = {"version": -1}
+        #: True while this profile's index containers are shared with a
+        #: copy-on-write snapshot; any mutation materializes private ones.
+        self._shared = False
         for item, tag in actions:
             self.add(item, tag)
 
@@ -87,6 +91,8 @@ class UserProfile:
         action = (item, tag)
         if action in self._actions:
             return False
+        if self._shared:
+            self._materialize()
         self._actions.add(action)
         self._action_ids.add(intern_action(item, tag))
         self._item_tags[item].add(tag)
@@ -97,6 +103,22 @@ class UserProfile:
     def add_all(self, actions: Iterable[TaggingAction]) -> int:
         """Add many actions; returns how many were actually new."""
         return sum(1 for item, tag in actions if self.add(item, tag))
+
+    def _materialize(self) -> None:
+        """Replace shared index containers with private copies (COW write).
+
+        Every holder of the shared containers checks ``_shared`` before its
+        own first mutation, so it never observes this writer's changes; the
+        other holders keep sharing the (now frozen-in-practice) originals --
+        including the warm view cache, which the writer leaves behind for a
+        private one (its version is about to diverge).
+        """
+        self._actions = set(self._actions)
+        self._action_ids = set(self._action_ids)
+        self._item_tags = defaultdict(set, {i: set(t) for i, t in self._item_tags.items()})
+        self._tag_items = defaultdict(set, {t: set(i) for t, i in self._tag_items.items()})
+        self._cache = {"version": -1}
+        self._shared = False
 
     # -- read access --------------------------------------------------------
 
@@ -159,14 +181,31 @@ class UserProfile:
         This is the payload of step 2 of the lazy exchange: only the actions
         on *common* items are shipped so the peer can compute the exact
         similarity score without receiving the whole profile.
+
+        Per-item ``(item, tag)`` tuples are cached in the version cache: the
+        same popular items are requested over and over by different exchange
+        partners, and a hit turns the inner loop into one C-level set update.
         """
         item_tags = self._item_tags
+        cache = self._cache
+        if cache["version"] != self._version:
+            cache.clear()
+            cache["version"] = self._version
+        pairs_by_item = cache.get("pairs")
+        if pairs_by_item is None:
+            pairs_by_item = cache["pairs"] = {}
         actions: Set[TaggingAction] = set()
-        for item in set(items):
-            tags = item_tags.get(item)
-            if tags:
-                for tag in tags:
-                    actions.add((item, tag))
+        update = actions.update
+        if not isinstance(items, (set, frozenset)):
+            items = set(items)
+        for item in items:
+            pairs = pairs_by_item.get(item)
+            if pairs is None:
+                tags = item_tags.get(item)
+                if not tags:
+                    continue
+                pairs = pairs_by_item[item] = tuple((item, tag) for tag in tags)
+            update(pairs)
         return actions
 
     def has_item(self, item: int) -> bool:
@@ -193,20 +232,31 @@ class UserProfile:
         return f"UserProfile(user_id={self.user_id}, actions={len(self._actions)})"
 
     def copy(self) -> "UserProfile":
-        """A deep snapshot of this profile (used for replicas on peers).
+        """A logically deep snapshot of this profile (replicas on peers).
 
-        Copies the maintained indexes directly instead of replaying every
-        ``add``; replica stores during gossip are frequent enough for the
-        difference to show in the macro benchmarks.
+        The snapshot is copy-on-write: both profiles share the index
+        containers until either side mutates, at which point the writer
+        materializes private copies first (:meth:`_materialize`).  Replica
+        stores happen on every gossip exchange while replica *mutation*
+        never happens (replicas are replaced wholesale), so sharing makes
+        the common case O(1) instead of O(profile length).
+
+        The version-keyed view cache is shared as well: every replica of a
+        subject then reuses one warm set of frozen views and per-item pair
+        tuples, and each read re-validates the cache against its own
+        version, so a sharer that mutated (and took a private cache with a
+        bumped version) can never poison the others.
         """
+        self._shared = True
         clone = UserProfile.__new__(UserProfile)
         clone.user_id = self.user_id
-        clone._actions = set(self._actions)
-        clone._action_ids = set(self._action_ids)
-        clone._item_tags = defaultdict(set, {i: set(t) for i, t in self._item_tags.items()})
-        clone._tag_items = defaultdict(set, {t: set(i) for t, i in self._tag_items.items()})
+        clone._actions = self._actions
+        clone._action_ids = self._action_ids
+        clone._item_tags = self._item_tags
+        clone._tag_items = self._tag_items
         clone._version = self._version
-        clone._cache = {"version": -1}
+        clone._cache = self._cache
+        clone._shared = True
         return clone
 
 

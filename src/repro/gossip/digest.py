@@ -20,11 +20,16 @@ lazy exchange is built on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Set
+from typing import Dict, FrozenSet, Iterable, Sequence, Set, Tuple
 
 from ..bloom import PAPER_DIGEST_BITS, BloomFilter
+from ..bloom.bloom import probe_positions
 from ..data.models import UserProfile
 from .sizes import DIGEST_BYTES
+
+
+#: Shared empty common-item set (most probes find nothing in common).
+_EMPTY_ITEMS: "FrozenSet[int]" = frozenset()
 
 
 @dataclass(frozen=True)
@@ -101,3 +106,192 @@ class DigestProvider:
                 self._profile, num_bits=self._num_bits, num_hashes=self._num_hashes
             )
         return self._cached
+
+
+class DigestCache:
+    """Simulation-wide incremental cache of digests and digest probes.
+
+    One instance is shared by every node of a simulation (and by the lazy
+    exchange and eager gossip protocols riding it).  It maintains three
+    version-keyed structures, each rebuilt only when the underlying
+    :class:`~repro.data.models.UserProfile` version bumps:
+
+    * **digests** -- ``user_id -> ProfileDigest`` of that user's *current*
+      profile.  Replaces per-node digest rebuilding: a node's 20 Kbit Bloom
+      filter is constructed once per profile version for the whole system.
+    * **probe rows** -- ``user_id -> ((item, probe_positions), ...)`` for
+      the user's item set, in the cache's digest geometry.  These are the
+      precomputed left-hand sides of batch membership tests: pricing one
+      exchange's candidate set against a receiver is a single pass of
+      early-exiting set-containment checks of each row's probe positions
+      against the digest's set-bit index set
+      (:meth:`BloomFilter.bit_positions`), avoiding a 20 Kbit big-int AND
+      per probe.
+    * **common-item memo** -- ``(receiver, subject) -> (receiver_version,
+      digest_version, common_items)``.  A digest that was already probed by
+      the same receiver at the same profile versions is never probed again,
+      which turns steady-state view maintenance from O(N·s) Bloom probes per
+      cycle into O(changes).
+
+    Every lookup validates versions, so *stale reads are impossible by
+    construction*; explicit invalidation (:meth:`evict_profiles`, driven by
+    the engine's post-cycle dirty-set flush) only reclaims memory held by
+    superseded entries.  The memo keeps at most one entry per (receiver,
+    subject) pair, so memory is bounded by the number of pairs that actually
+    gossip, not by version churn.
+    """
+
+    def __init__(
+        self,
+        num_bits: int = PAPER_DIGEST_BITS,
+        num_hashes: int = 14,
+    ) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("digest geometry must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._digests: Dict[int, ProfileDigest] = {}
+        #: user_id -> (profile_version, first-position keys, first-position ->
+        #: ((item, probe_positions), ...) buckets).  The first-position index
+        #: lets one C-level set intersection reject almost every row of a
+        #: probe batch before any per-row work happens.
+        self._rows: Dict[
+            int,
+            Tuple[int, FrozenSet[int], Dict[int, Tuple[Tuple[int, Tuple[int, ...]], ...]]],
+        ] = {}
+        #: subject user_id -> (digest_version, set-bit indices of the digest).
+        self._bit_positions: Dict[int, Tuple[int, Set[int]]] = {}
+        self._common: Dict[Tuple[int, int], Tuple[int, int, FrozenSet[int]]] = {}
+
+    # -- digests --------------------------------------------------------------
+
+    def digest_for(self, profile: UserProfile) -> ProfileDigest:
+        """The digest of ``profile``'s current version, built at most once.
+
+        Building a digest also seeds its set-bit index set (the union of the
+        inserted items' probe positions -- by construction identical to
+        decomposing the finished bit array), so probing a cache-built digest
+        never has to walk its 20 Kbit integer.
+        """
+        cached = self._digests.get(profile.user_id)
+        if cached is None or cached.version != profile.version:
+            cached = make_digest(
+                profile, num_bits=self.num_bits, num_hashes=self.num_hashes
+            )
+            self._digests[profile.user_id] = cached
+            positions: Set[int] = set()
+            num_bits, num_hashes = self.num_bits, self.num_hashes
+            for item in profile.items:
+                positions.update(probe_positions(item, num_bits, num_hashes))
+            self._bit_positions[profile.user_id] = (cached.version, positions)
+        return cached
+
+    # -- batch probing --------------------------------------------------------
+
+    def common_items(self, receiver: UserProfile, digest: ProfileDigest) -> FrozenSet[int]:
+        """The receiver's items that ``digest`` (probably) contains, memoized.
+
+        Semantically identical to ``digest.common_items_with(receiver.items)``
+        (same Bloom filter, same probe positions) but priced incrementally:
+        the receiver's probe rows and the digest's set-bit index set are
+        cached per profile/digest version, and a (receiver, subject) pair is
+        re-probed only when either side's version changed since the last
+        probe.  A probe is ``bits.issuperset(row_positions)`` -- C-level with
+        an early exit on the first missing bit.
+        """
+        if digest.bloom.num_bits != self.num_bits or digest.bloom.num_hashes != self.num_hashes:
+            # Foreign geometry (mixed-config tests): fall back to direct probes.
+            return frozenset(digest.common_items_with(receiver.items))
+        key = (receiver.user_id, digest.user_id)
+        memo = self._common.get(key)
+        if (
+            memo is not None
+            and memo[0] == receiver.version
+            and memo[1] == digest.version
+        ):
+            return memo[2]
+        # Inlined row/position lookups: this is the hottest miss path of the
+        # whole runtime, and every extra frame showed up in profiles.
+        rows_entry = self._rows.get(receiver.user_id)
+        if rows_entry is None or rows_entry[0] != receiver.version:
+            num_bits, num_hashes = self.num_bits, self.num_hashes
+            buckets: Dict[int, Tuple[Tuple[int, Tuple[int, ...]], ...]] = {}
+            for item in receiver.items:
+                positions = probe_positions(item, num_bits, num_hashes)
+                first = positions[0]
+                buckets[first] = buckets.get(first, ()) + ((item, positions),)
+            rows_entry = (receiver.version, frozenset(buckets), buckets)
+            self._rows[receiver.user_id] = rows_entry
+        positions_entry = self._bit_positions.get(digest.user_id)
+        if positions_entry is None or positions_entry[0] != digest.version:
+            positions_entry = (digest.version, digest.bloom.bit_positions())
+            self._bit_positions[digest.user_id] = positions_entry
+        digest_bits = positions_entry[1]
+        # One C-level intersection rejects every item whose first probe bit
+        # is clear (the overwhelmingly common case); only the survivors pay
+        # a full probe-position check.
+        live_firsts = digest_bits.intersection(rows_entry[1])
+        if not live_firsts:
+            common: FrozenSet[int] = _EMPTY_ITEMS
+        else:
+            issuperset = digest_bits.issuperset
+            buckets = rows_entry[2]
+            common = frozenset(
+                {
+                    item
+                    for first in live_firsts
+                    for item, positions in buckets[first]
+                    if issuperset(positions)
+                }
+            )
+        self._common[key] = (receiver.version, digest.version, common)
+        return common
+
+    def common_items_batch(
+        self, receiver: UserProfile, digests: Sequence[ProfileDigest]
+    ) -> Dict[int, FrozenSet[int]]:
+        """Price one exchange's whole candidate set in a single pass.
+
+        Returns ``subject_id -> common items`` for every digest.  The
+        receiver's probe rows are resolved once and reused across the batch.
+        """
+        return {digest.user_id: self.common_items(receiver, digest) for digest in digests}
+
+    def shares_item(self, receiver: UserProfile, digest: ProfileDigest) -> bool:
+        """Whether ``digest`` shares at least one item with the receiver.
+
+        Same truth value as ``digest.shares_item_with(receiver.items)``; goes
+        through the memoized common-item set so the answer is free when the
+        pair was already probed (and primes the memo when it was not).
+        """
+        return bool(self.common_items(receiver, digest))
+
+    # -- invalidation ---------------------------------------------------------
+
+    def evict_profiles(self, user_ids: Iterable[int]) -> None:
+        """Drop cached state of users whose profiles changed (memory hygiene).
+
+        Correctness never depends on this -- every read re-validates versions
+        -- but superseded digests and probe rows of churned-through profiles
+        would otherwise linger until the next touch.  The engine flushes the
+        per-cycle dirty set here at each cycle boundary.
+        """
+        for user_id in user_ids:
+            self._digests.pop(user_id, None)
+            self._rows.pop(user_id, None)
+            self._bit_positions.pop(user_id, None)
+
+    def clear(self) -> None:
+        self._digests.clear()
+        self._rows.clear()
+        self._bit_positions.clear()
+        self._common.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Cache occupancy counters (exposed for tests and diagnostics)."""
+        return {
+            "digests": len(self._digests),
+            "rows": len(self._rows),
+            "bit_positions": len(self._bit_positions),
+            "common_pairs": len(self._common),
+        }

@@ -53,7 +53,7 @@ from ..simulator.transport import (
     Envelope,
     FullProfileRequest,
 )
-from .digest import ProfileDigest
+from .digest import DigestCache, ProfileDigest
 
 #: Default number of stored-profile digests advertised per gossip message
 #: (the paper exchanges at most 50 profiles per cycle).
@@ -68,18 +68,43 @@ class LazyExchangeProtocol:
         exchange_size: int = DEFAULT_EXCHANGE_SIZE,
         account_traffic: bool = True,
         three_step: bool = True,
+        digest_cache: Optional[DigestCache] = None,
     ) -> None:
         """``three_step=False`` disables the digest pre-filtering and ships
         full profiles for every advertised user -- the ablation baseline for
-        the bandwidth experiments."""
+        the bandwidth experiments.
+
+        ``digest_cache`` is the simulation-shared incremental cache; with it,
+        one exchange's candidate set is priced in a single batched pass over
+        the receiver's cached probe-mask rows and unchanged (receiver,
+        subject) pairs are never re-probed.  Without it the protocol probes
+        digests directly (identical results, per-item hashing costs).
+        """
         if exchange_size <= 0:
             raise ValueError("exchange_size must be positive")
         self.exchange_size = exchange_size
         self.account_traffic = account_traffic
         self.three_step = three_step
-        #: (receiver_id, subject_id) -> last digest version already evaluated,
-        #: so an unchanged random-view member is not re-scored every cycle.
-        self._evaluated: Dict[Tuple[int, int], int] = {}
+        self.digest_cache = digest_cache
+        #: receiver_id -> {subject_id -> last digest version already
+        #: evaluated}, so an unchanged random-view member is not re-scored
+        #: every cycle.  Nested (rather than tuple-keyed) because the outer
+        #: lookup happens once per refresh while the inner one runs per
+        #: digest per cycle -- no tuple allocation on the steady-state path.
+        self._evaluated: Dict[int, Dict[int, int]] = {}
+
+    # -- digest probing (cache-accelerated, identical semantics) ---------------
+
+    def _common_items(self, receiver, digest: ProfileDigest) -> Set[int]:
+        """``digest``'s overlap with the receiver's items, via the cache."""
+        if self.digest_cache is not None:
+            return self.digest_cache.common_items(receiver.profile, digest)
+        return digest.common_items_with(receiver.profile.items)
+
+    def _shares_item(self, receiver, digest: ProfileDigest) -> bool:
+        if self.digest_cache is not None:
+            return self.digest_cache.shares_item(receiver.profile, digest)
+        return digest.shares_item_with(receiver.profile.items)
 
     # -- cycle entry points ---------------------------------------------------
 
@@ -210,13 +235,11 @@ class LazyExchangeProtocol:
         Returns the list of user ids that were added to / refreshed in the
         receiver's personal network.
         """
-        own_items = receiver.profile.items
         own_actions = receiver.profile.actions
 
-        candidates: List[ProfileDigest] = []
-        #: user_id -> common items found at the step-1 gate, reused in step 2
-        #: so the digest is probed only once per exchange.
-        common_by_user: Dict[int, Set[int]] = {}
+        #: (digest, gated) in advertisement order; ``gated`` marks unknown
+        #: candidates that must pass the step-1 common-item gate.
+        screened: List[Tuple[ProfileDigest, bool]] = []
         for digest in digests:
             if digest.user_id == receiver.node_id:
                 continue
@@ -225,12 +248,21 @@ class LazyExchangeProtocol:
                 if digest.version <= existing.digest.version and existing.profile is not None:
                     # Known neighbour, unchanged digest, replica present: drop.
                     continue
-                candidates.append(digest)
+                screened.append((digest, False))
                 continue
-            if self.three_step:
-                common = digest.common_items_with(own_items)
+            screened.append((digest, self.three_step))
+
+        # Step 1 gate, batched: price the whole candidate set's common items
+        # in one pass over the receiver's cached probe rows.  A gated
+        # candidate sharing no item cannot have a positive score: drop.
+        candidates: List[ProfileDigest] = []
+        #: user_id -> common items found at the step-1 gate, reused in step 2
+        #: so the digest is probed only once per exchange.
+        common_by_user: Dict[int, Set[int]] = {}
+        for digest, gated in screened:
+            if gated:
+                common = self._common_items(receiver, digest)
                 if not common:
-                    # No common item: cannot have a positive score, drop.
                     continue
                 common_by_user[digest.user_id] = common
             candidates.append(digest)
@@ -254,7 +286,7 @@ class LazyExchangeProtocol:
             # Step 2: pull only the actions on common items to score exactly.
             common_items = common_by_user.get(digest.user_id)
             if common_items is None:  # known-but-changed neighbour, not gated
-                common_items = digest.common_items_with(own_items)
+                common_items = self._common_items(receiver, digest)
             actions = self._fetch_common_actions(
                 receiver, provider_id, digest.user_id, common_items, network, query_id
             )
@@ -292,19 +324,20 @@ class LazyExchangeProtocol:
         evaluated is skipped, so stable views do not generate traffic every
         cycle.
         """
-        own_items = peer.profile.items
         own_actions = peer.profile.actions
         added: List[int] = []
+        evaluated = self._evaluated.get(peer.node_id)
+        if evaluated is None:
+            evaluated = self._evaluated[peer.node_id] = {}
         for digest in peer.random_view.digests():
-            cache_key = (peer.node_id, digest.user_id)
-            if self._evaluated.get(cache_key, -1) >= digest.version:
+            if evaluated.get(digest.user_id, -1) >= digest.version:
                 continue
-            self._evaluated[cache_key] = digest.version
+            evaluated[digest.user_id] = digest.version
             if digest.user_id in peer.personal_network:
                 continue
-            if self.three_step and not digest.shares_item_with(own_items):
-                # Cheap early-exit gate: the full common-item set is only
-                # computed after the subject turned out to be reachable.
+            if self.three_step and not self._shares_item(peer, digest):
+                # Gate on the (memoized) common-item probe: a member sharing
+                # no item with us cannot enter the personal network.
                 continue
             subject_id = digest.user_id
             if network.try_contact(subject_id) is None:
@@ -321,7 +354,7 @@ class LazyExchangeProtocol:
                     added.append(subject_id)
                     peer.personal_network.store_profile(subject_id, profile)
                 continue
-            common_items = digest.common_items_with(own_items)
+            common_items = self._common_items(peer, digest)
             actions = self._fetch_common_actions(
                 peer, subject_id, subject_id, common_items, network
             )

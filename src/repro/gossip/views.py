@@ -14,13 +14,22 @@ by the bit-packed Bloom filter, and stored replicas are
 :class:`~repro.data.models.UserProfile` copies that carry their interned
 indexes with them -- so view maintenance and query scoring stay on the fast
 paths described in ``docs/ARCHITECTURE.md``.
+
+View maintenance is *dirty-set driven*: the score ranking of a personal
+network and the sorted membership of a random view are cached and only
+recomputed after a mutation that can change them (``consider`` /
+``_truncate`` / ``merge``), never per read.  A steady cycle -- in which
+most peers' profiles did not change and most views did not move -- performs
+no sorting at all, and the recomputations that do happen use partial
+selection (``heapq``) instead of full sorts where only a prefix is needed.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..data.models import UserProfile
 from .digest import ProfileDigest
@@ -44,6 +53,17 @@ class NeighbourEntry:
         return self.profile.version if self.profile is not None else None
 
 
+def _rank_key(entry: NeighbourEntry) -> Tuple[float, int]:
+    """Total-order ranking key: descending score, ascending user id."""
+    return (-entry.score, entry.user_id)
+
+
+#: Storage-boundary sentinel comparing worse than any real rank key: with
+#: fewer than ``storage`` entries, every entry (and every candidate) is
+#: within the replica budget.
+_BOUNDARY_ALL: Tuple[float, int] = (float("inf"), -1)
+
+
 class PersonalNetwork:
     """The ``s`` most similar neighbours, with profiles stored for the top ``c``."""
 
@@ -56,6 +76,17 @@ class PersonalNetwork:
         self.size = size
         self.storage = min(storage, size)
         self._entries: Dict[int, NeighbourEntry] = {}
+        #: Cached descending-score ranking; ``None`` after any mutation that
+        #: can change scores or membership (the view's dirty marker).
+        self._ranked: Optional[List[NeighbourEntry]] = None
+        #: Rank key of the ``storage``-th best entry -- the admission
+        #: threshold of the replica budget.  ``None`` means unknown (dirty);
+        #: :data:`_BOUNDARY_ALL` means fewer than ``storage`` entries exist,
+        #: so every entry is within budget.  A mutation whose keys stay
+        #: strictly worse than the boundary on both sides provably cannot
+        #: change the top-``c`` set, letting ``consider`` skip the budget
+        #: scan entirely -- the common case in steady state.
+        self._storage_boundary: Optional[Tuple[float, int]] = _BOUNDARY_ALL
 
     # -- basic accessors ------------------------------------------------------
 
@@ -76,8 +107,17 @@ class PersonalNetwork:
         return [entry.user_id for entry in self.ranked_entries()]
 
     def ranked_entries(self) -> List[NeighbourEntry]:
-        """Entries ordered by descending score (ties on user id)."""
-        return sorted(self._entries.values(), key=lambda e: (-e.score, e.user_id))
+        """Entries ordered by descending score (ties on user id).
+
+        The ranking is cached until the next score/membership mutation;
+        callers receive a fresh list they may slice or filter, but must not
+        mutate the entries' scores directly (go through :meth:`consider`).
+        """
+        if self._ranked is None:
+            self._ranked = sorted(
+                self._entries.values(), key=lambda e: (-e.score, e.user_id)
+            )
+        return list(self._ranked)
 
     def score_of(self, user_id: int) -> float:
         entry = self._entries.get(user_id)
@@ -127,39 +167,94 @@ class PersonalNetwork:
             # Zero-score users never qualify; drop them if they were members
             # (their score can only have been recomputed downward after a
             # profile change on our side).
-            self._entries.pop(user_id, None)
+            removed = self._entries.pop(user_id, None)
+            if removed is not None:
+                self._ranked = None
+                boundary = self._storage_boundary
+                if (
+                    boundary is None
+                    or removed.profile is not None
+                    or _rank_key(removed) <= boundary
+                ):
+                    # A top-c member left: the budget set shifts.
+                    self._enforce_storage_budget()
             return False
         existing = self._entries.get(user_id)
         if existing is not None:
-            existing.score = score
+            if existing.score != score:
+                old_key = _rank_key(existing)
+                existing.score = score
+                new_key = _rank_key(existing)
+                self._ranked = None
+                boundary = self._storage_boundary
+                if (
+                    boundary is None
+                    or existing.profile is not None
+                    or old_key <= boundary
+                    or new_key <= boundary
+                ):
+                    # The move touches the top-c region: re-derive the set.
+                    self._enforce_storage_budget()
+                # Otherwise the entry moved strictly below the admission
+                # threshold on both sides: the top-c set is untouched.
             if digest.version >= existing.digest.version:
                 existing.digest = digest
                 if existing.profile is not None and existing.profile.version < digest.version:
                     # The stored replica is stale; it remains usable (old
                     # opinions stay meaningful) until refreshed by gossip.
                     pass
+            return True
+        entry = NeighbourEntry(user_id=user_id, score=score, digest=digest)
+        self._entries[user_id] = entry
+        self._ranked = None
+        if len(self._entries) > self.size:
+            self._truncate()
         else:
-            self._entries[user_id] = NeighbourEntry(user_id=user_id, score=score, digest=digest)
-        self._truncate()
+            boundary = self._storage_boundary
+            if boundary is None or _rank_key(entry) <= boundary:
+                self._enforce_storage_budget()
+            # A newcomer ranked strictly below the admission threshold
+            # cannot displace a stored replica: skip the budget scan.
         return user_id in self._entries
 
     def _truncate(self) -> None:
         """Keep only the ``size`` best entries and demote excess replicas."""
         if len(self._entries) > self.size:
-            ranked = self.ranked_entries()
-            for entry in ranked[self.size:]:
-                del self._entries[entry.user_id]
+            keep = heapq.nsmallest(self.size, self._entries.values(), key=_rank_key)
+            keep_ids = {entry.user_id for entry in keep}
+            for user_id in [uid for uid in self._entries if uid not in keep_ids]:
+                del self._entries[user_id]
+            # nsmallest on the ranking key *is* the ranking of the survivors.
+            self._ranked = keep
         self._enforce_storage_budget()
 
+    def _top_ids(self, count: int) -> set:
+        """Ids of the ``count`` highest-ranked entries (partial selection)."""
+        if count >= len(self._entries):
+            return set(self._entries)
+        if self._ranked is not None:
+            return {entry.user_id for entry in self._ranked[:count]}
+        top = heapq.nsmallest(count, self._entries.values(), key=_rank_key)
+        return {entry.user_id for entry in top}
+
     def _enforce_storage_budget(self) -> None:
-        ranked = self.ranked_entries()
-        keep = {entry.user_id for entry in ranked[: self.storage]}
-        for entry in ranked[self.storage:]:
-            if entry.profile is not None:
+        entries = self._entries
+        storage = self.storage
+        if len(entries) <= storage:
+            # Everything fits the budget; no replica can be demoted.
+            self._storage_boundary = _BOUNDARY_ALL
+            return
+        if self._ranked is not None:
+            top = self._ranked[:storage]
+        else:
+            top = heapq.nsmallest(storage, entries.values(), key=_rank_key)
+        self._storage_boundary = _rank_key(top[-1]) if top else _BOUNDARY_ALL
+        keep = {entry.user_id for entry in top}
+        for entry in entries.values():
+            if entry.profile is not None and entry.user_id not in keep:
                 entry.profile = None
         # Entries in `keep` may still lack a profile; fetching it is the
         # responsibility of the exchange protocol (profiles_wanted()).
-        del keep
 
     def profiles_wanted(self) -> List[int]:
         """Top-``storage`` neighbours whose replica is missing or stale."""
@@ -177,8 +272,7 @@ class PersonalNetwork:
         entry = self._entries.get(user_id)
         if entry is None:
             return False
-        top = {e.user_id for e in self.ranked_entries()[: self.storage]}
-        if user_id not in top:
+        if user_id not in self._top_ids(self.storage):
             return False
         entry.profile = profile.copy()
         return True
@@ -186,7 +280,10 @@ class PersonalNetwork:
     def drop_member(self, user_id: int) -> None:
         """Remove a neighbour entirely (not used by the paper's protocol,
         which never forgets departed users, but exposed for experiments)."""
-        self._entries.pop(user_id, None)
+        if self._entries.pop(user_id, None) is not None:
+            self._ranked = None
+            self._storage_boundary = None
+            self._enforce_storage_budget()
 
     # -- gossip partner selection ---------------------------------------------
 
@@ -196,14 +293,16 @@ class PersonalNetwork:
         ``restrict_to`` limits the choice to a subset (the eager mode only
         gossips with neighbours that are also in the remaining list).
         """
-        candidates = list(self._entries.values())
+        candidates: Iterable[NeighbourEntry] = self._entries.values()
         if restrict_to is not None:
             allowed = set(restrict_to)
             candidates = [entry for entry in candidates if entry.user_id in allowed]
-        if not candidates:
+            if not candidates:
+                return None
+        elif not self._entries:
             return None
-        candidates.sort(key=lambda e: (-e.timestamp, -e.score, e.user_id))
-        return candidates[0].user_id
+        oldest = min(candidates, key=lambda e: (-e.timestamp, -e.score, e.user_id))
+        return oldest.user_id
 
     def mark_gossiped(self, user_id: int) -> None:
         """Reset the partner's timestamp and age every other entry by one."""
@@ -233,6 +332,12 @@ class RandomView:
         self.owner_id = owner_id
         self.size = size
         self._entries: Dict[int, ProfileDigest] = {}
+        #: Cached sorted membership and digest list; ``None`` after any
+        #: mutation (dirty markers).  Peer sampling and the random-view
+        #: refresh read the view three times per cycle per node while
+        #: membership changes at most once, so caching pays every cycle.
+        self._sorted_ids: Optional[List[int]] = None
+        self._digest_list: Optional[List[ProfileDigest]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -241,10 +346,17 @@ class RandomView:
         return user_id in self._entries
 
     def member_ids(self) -> List[int]:
-        return sorted(self._entries)
+        if self._sorted_ids is None:
+            self._sorted_ids = sorted(self._entries)
+        return list(self._sorted_ids)
 
     def digests(self) -> List[ProfileDigest]:
-        return [self._entries[uid] for uid in sorted(self._entries)]
+        if self._digest_list is None:
+            entries = self._entries
+            if self._sorted_ids is None:
+                self._sorted_ids = sorted(entries)
+            self._digest_list = [entries[uid] for uid in self._sorted_ids]
+        return list(self._digest_list)
 
     def digest_of(self, user_id: int) -> Optional[ProfileDigest]:
         return self._entries.get(user_id)
@@ -254,6 +366,8 @@ class RandomView:
         if digest.user_id == self.owner_id:
             return
         self._entries[digest.user_id] = digest
+        self._sorted_ids = None
+        self._digest_list = None
         self._shrink_random(random.Random(self.owner_id))
 
     def random_partner(self, rng: random.Random) -> Optional[int]:
@@ -277,6 +391,8 @@ class RandomView:
             if current is None or digest.version >= current.version:
                 pool[digest.user_id] = digest
         self._entries = pool
+        self._sorted_ids = None
+        self._digest_list = None
         self._shrink_random(rng)
 
     def _shrink_random(self, rng: random.Random) -> None:
@@ -284,3 +400,5 @@ class RandomView:
             return
         keep = rng.sample(sorted(self._entries), k=self.size)
         self._entries = {uid: self._entries[uid] for uid in keep}
+        self._sorted_ids = None
+        self._digest_list = None

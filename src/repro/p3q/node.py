@@ -19,11 +19,12 @@ protocol objects (gossip advertisements), serves the step-2/3 control
 requests from local state, and routes query traffic into the session and
 forwarded-list state.
 
-Everything hot a node does rides the performance layer documented in
-``docs/ARCHITECTURE.md``: its own digest is version-cached
-(:class:`~repro.gossip.digest.DigestProvider`), digest probes hit the
-bit-packed Bloom filter, and query/similarity scoring runs on the profile's
-interned indexes.
+Everything hot a node does rides the incremental runtime documented in
+``docs/ARCHITECTURE.md``: its own digest and probe rows live in the
+simulation-shared :class:`~repro.gossip.digest.DigestCache` (version-keyed,
+rebuilt only when the profile version bumps), digest probes hit the
+bit-packed Bloom filter through cached probe-mask rows, and query/similarity
+scoring runs on the profile's interned indexes.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..data.models import TaggingAction, UserProfile
 from ..data.queries import Query
-from ..gossip.digest import DigestProvider, ProfileDigest
+from ..gossip.digest import DigestCache, ProfileDigest
 from ..gossip.peer_sampling import PeerSamplingProtocol
 from ..gossip.profile_exchange import LazyExchangeProtocol
 from ..gossip.views import PersonalNetwork, RandomView
@@ -68,6 +69,7 @@ class P3QNode(Node):
         peer_sampling: Optional[PeerSamplingProtocol] = None,
         lazy: Optional[LazyExchangeProtocol] = None,
         eager: Optional[EagerGossipProtocol] = None,
+        digest_cache: Optional[DigestCache] = None,
     ) -> None:
         super().__init__(profile.user_id)
         self.profile = profile
@@ -79,8 +81,10 @@ class P3QNode(Node):
             storage=storage,
         )
         self.random_view = RandomView(owner_id=profile.user_id, size=config.random_view_size)
-        self._digest_provider = DigestProvider(
-            profile, num_bits=config.digest_bits, num_hashes=config.digest_hashes
+        #: Incremental digest/probe cache, normally shared by every node of a
+        #: simulation (standalone nodes build a private one).
+        self.digest_cache = digest_cache or DigestCache(
+            num_bits=config.digest_bits, num_hashes=config.digest_hashes
         )
         self._rng = random.Random(f"{config.seed}/node/{profile.user_id}")
         # Protocol objects are usually shared across all nodes of a simulation
@@ -92,6 +96,7 @@ class P3QNode(Node):
             exchange_size=config.exchange_size,
             account_traffic=config.account_traffic,
             three_step=config.three_step_exchange,
+            digest_cache=self.digest_cache,
         )
         self.eager = eager or EagerGossipProtocol(
             alpha=config.alpha,
@@ -113,7 +118,7 @@ class P3QNode(Node):
         return self._rng
 
     def own_digest(self) -> ProfileDigest:
-        return self._digest_provider.current()
+        return self.digest_cache.digest_for(self.profile)
 
     def stored_digest_sample(self, limit: int) -> List[ProfileDigest]:
         """Digests advertised in a gossip message: own + sample of stored."""

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set
 from ..data.models import ChangeDay, Dataset
 from ..data.dynamics import apply_change_day
 from ..data.queries import Query
+from ..gossip.digest import DigestCache
 from ..gossip.peer_sampling import PeerSamplingProtocol
 from ..gossip.profile_exchange import LazyExchangeProtocol
 from ..gossip.views import PersonalNetwork
@@ -45,6 +46,13 @@ class P3QSimulation:
             ),
         )
         self.engine = SimulationEngine(self.network, seed=config.seed)
+        # The incremental runtime's shared cache: one digest / probe-row set
+        # per profile version for the whole deployment.  The engine flushes
+        # the per-cycle dirty set into it at each cycle boundary.
+        self.digest_cache = DigestCache(
+            num_bits=config.digest_bits, num_hashes=config.digest_hashes
+        )
+        self.network.add_profile_dirty_listener(self.digest_cache.evict_profiles)
         # One shared instance of each protocol: they are stateless apart from
         # bounded caches, and sharing keeps memory linear in the user count.
         self.peer_sampling = PeerSamplingProtocol(account_traffic=config.account_traffic)
@@ -52,6 +60,7 @@ class P3QSimulation:
             exchange_size=config.exchange_size,
             account_traffic=config.account_traffic,
             three_step=config.three_step_exchange,
+            digest_cache=self.digest_cache,
         )
         self.eager = EagerGossipProtocol(
             alpha=config.alpha,
@@ -67,6 +76,7 @@ class P3QSimulation:
                 peer_sampling=self.peer_sampling,
                 lazy=self.lazy,
                 eager=self.eager,
+                digest_cache=self.digest_cache,
             )
             self.nodes[node.node_id] = node
             self.network.add_node(node)
@@ -87,8 +97,10 @@ class P3QSimulation:
         """
         count = contacts_per_node or self.config.random_view_size
         user_ids = list(self.nodes)
-        for node in self.nodes.values():
-            others = [uid for uid in user_ids if uid != node.node_id]
+        for position, node in enumerate(self.nodes.values()):
+            # Equivalent to filtering out the node itself, but via C-level
+            # slicing: the Python-level scan was quadratic at large N.
+            others = user_ids[:position] + user_ids[position + 1:]
             if not others:
                 continue
             sample = self._bootstrap_rng.sample(others, k=min(count, len(others)))
@@ -197,23 +209,26 @@ class P3QSimulation:
         Derived from the traffic records: every receiver of a forwarded
         remaining list, plus the querier herself.
         """
-        reached: Set[int] = set()
-        querier: Optional[int] = None
+        reached: Set[int] = set(
+            self.stats.query_receivers(query_id, KIND_REMAINING_FORWARD)
+        )
         for session in self.sessions().values():
             if session.query.query_id == query_id:
-                querier = session.query.querier
-        if querier is not None:
-            reached.add(querier)
-        for record in self.stats.records:
-            if record.query_id == query_id and record.kind == KIND_REMAINING_FORWARD:
-                reached.add(record.receiver)
+                reached.add(session.query.querier)
         return reached
 
     # ---------------------------------------------------------------- dynamics
 
     def apply_profile_changes(self, change_day: ChangeDay) -> Dict[int, int]:
-        """Apply a day of profile changes to the live profiles."""
-        return apply_change_day(self.dataset, change_day)
+        """Apply a day of profile changes to the live profiles.
+
+        The changed users enter the network's per-cycle dirty set; the engine
+        flushes it to the registered listeners (the shared digest cache) at
+        the next cycle boundary so superseded cached state is reclaimed.
+        """
+        versions = apply_change_day(self.dataset, change_day)
+        self.network.mark_profiles_dirty(versions)
+        return versions
 
     def depart_users(self, user_ids: Iterable[int]) -> None:
         """Simultaneous departure of the given users (churn)."""

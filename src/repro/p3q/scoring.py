@@ -50,11 +50,20 @@ def partial_scores(profiles: Iterable[UserProfile], query: Query) -> Dict[int, f
     This is what one node contributes to the collaborative computation: the
     sum of per-user scores over its ``GoodProfiles`` set, keeping only items
     with a positive partial score.
+
+    The whole profile batch is priced in a single accumulation pass: per
+    profile and query tag, one walk of the interned ``tag -> items`` index
+    straight into the shared totals -- no per-profile score dict is ever
+    materialized.  Scores are small integer counts, so float accumulation is
+    exact and order-independent; the result is identical to summing
+    :func:`user_score_map` per profile.
     """
+    tags = set(query.tags)
     totals: Dict[int, float] = defaultdict(float)
     for profile in profiles:
-        for item, score in user_score_map(profile, query).items():
-            totals[item] += score
+        for tag in tags:
+            for item in profile.items_for_tag(tag):
+                totals[item] += 1.0
     return {item: score for item, score in totals.items() if score > 0}
 
 

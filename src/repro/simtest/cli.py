@@ -32,7 +32,7 @@ from typing import Iterator, List, Optional
 from .invariants import REGISTRY
 from .runner import ScenarioResult, run_scenario
 from .shrink import shrink
-from .spec import ScenarioGenerator, ScenarioSpec
+from .spec import GeneratorRanges, ScenarioGenerator, ScenarioSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-shrink-runs", type=int, default=48, metavar="N",
         help="budget of candidate runs during shrinking (default: 48)",
+    )
+    parser.add_argument(
+        "--max-users", type=int, default=None, metavar="N",
+        help="cap generated scenarios at N users (the PR fuzz smoke runs "
+        "capped; the nightly batch runs uncapped and owns large-N coverage)",
+    )
+    parser.add_argument(
+        "--failure-artifact", type=Path, default=None, metavar="FILE",
+        help="on failure, also write the minimal (shrunk) spec JSON to FILE "
+        "so CI can upload it as a diagnosable artifact",
     )
     parser.add_argument(
         "--list-invariants", action="store_true",
@@ -104,10 +114,20 @@ def _report_failure(result: ScenarioResult, args: argparse.Namespace) -> None:
     print(minimal.to_json(indent=2))
     print("reproduce with:")
     print(f"  {minimal.repro_command()}")
+    if args.failure_artifact is not None:
+        args.failure_artifact.write_text(minimal.to_json(indent=2) + "\n", encoding="utf-8")
+        print(f"minimal spec written to {args.failure_artifact}")
+
+
+def _generator(args: argparse.Namespace) -> ScenarioGenerator:
+    ranges = GeneratorRanges()
+    if args.max_users is not None:
+        ranges = ranges.capped(args.max_users)
+    return ScenarioGenerator(args.seed, ranges)
 
 
 def _run_batch(args: argparse.Namespace) -> int:
-    generator = ScenarioGenerator(args.seed)
+    generator = _generator(args)
     failures = 0
     run_count = 0
     for index in range(args.seeds):
@@ -160,7 +180,7 @@ def broken_byte_pricing() -> Iterator[None]:
 
 def _self_check(args: argparse.Namespace) -> int:
     print("self-check: corrupting DigestAdvertisement pricing (flat 7 bytes)")
-    generator = ScenarioGenerator(args.seed)
+    generator = _generator(args)
     with broken_byte_pricing():
         for index in range(args.seeds):
             spec = generator.spec(index)
@@ -197,6 +217,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.seeds < 1:
         parser.error("--seeds must be positive")
+    if args.max_users is not None and args.max_users < 8:
+        parser.error("--max-users must be at least 8")
     if args.spec_json is not None and args.spec is not None:
         parser.error("--spec-json and --spec are mutually exclusive")
 

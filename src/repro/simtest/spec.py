@@ -24,6 +24,7 @@ scenario it came from.
 from __future__ import annotations
 
 import json
+import math
 import random
 import shlex
 from dataclasses import asdict, dataclass, replace
@@ -249,6 +250,33 @@ class GeneratorRanges:
     p_rejoin: float = 0.5
     p_dynamics: float = 0.3
 
+    #: Occasional large-N scenarios: with probability ``p_large_users`` the
+    #: user count is redrawn log-uniformly from ``large_users`` (so most
+    #: large draws stay in the hundreds, with a tail up to 5000) and the
+    #: cycle horizons are tightened to keep one scenario within seconds.
+    #: These runs push the incremental runtime through churn/dynamics at
+    #: scales where stale-cache bugs hide; the draw comes from a *separate*
+    #: seeded stream so tuning it never perturbs the small-scenario stream.
+    large_users: Tuple[int, int] = (200, 5_000)
+    p_large_users: float = 0.06
+
+    def capped(self, max_users: int) -> "GeneratorRanges":
+        """A copy whose scenarios never exceed ``max_users`` users.
+
+        The PR-gate fuzz smoke runs capped (fast feedback); the nightly
+        batch runs uncapped and owns the large-N coverage.
+        """
+        if max_users < 8:
+            raise ValueError("max_users must be at least 8")
+        lo, hi = self.users
+        large_lo, large_hi = self.large_users
+        return replace(
+            self,
+            users=(min(lo, max_users), min(hi, max_users)),
+            large_users=(min(large_lo, max_users), min(large_hi, max_users)),
+            p_large_users=0.0 if max_users < large_lo else self.p_large_users,
+        )
+
 
 class ScenarioGenerator:
     """Deterministic, indexed sampling of :class:`ScenarioSpec` values."""
@@ -268,6 +296,19 @@ class ScenarioGenerator:
         network_size = min(rng.randint(*r.network_size), num_users - 1)
         lazy_cycles = rng.randint(*r.lazy_cycles)
         eager_cycles = rng.randint(*r.eager_cycles)
+
+        # Large-N override from an independent stream: enabling or tuning it
+        # leaves every small scenario of the stream bit-identical.
+        if r.p_large_users > 0.0:
+            large_rng = random.Random(f"{self.master_seed}/simtest/large/{index}")
+            if large_rng.random() < r.p_large_users:
+                lo, hi = r.large_users
+                num_users = max(
+                    num_users,
+                    round(math.exp(large_rng.uniform(math.log(lo), math.log(hi)))),
+                )
+                lazy_cycles = min(lazy_cycles, large_rng.randint(2, 4))
+                eager_cycles = min(eager_cycles, large_rng.randint(4, 8))
 
         transport, loss_rate, delay_cycles = self._sample_conditions(rng)
         churn = self._sample_churn(rng, lazy_cycles, eager_cycles)

@@ -114,6 +114,12 @@ class SimulationEngine:
         for hook in self._post_hooks:
             hook(self, cycle_index)
 
+        # Cycle boundary: fan the profiles that changed during this cycle out
+        # to the incremental-runtime listeners (digest-cache eviction).  Quiet
+        # cycles flush an empty set at no cost -- invalidation work is
+        # O(changes), never O(N).
+        self.network.flush_dirty_profiles()
+
         self.cycle_counts[phase] = cycle_index + 1
         self.global_cycle += 1
         return cycle_index

@@ -17,11 +17,14 @@ protocol change.  What the network itself provides is:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
 
 from .node import Node
 from .stats import StatsCollector
 from .transport import DirectTransport, Transport
+
+#: A callback receiving the ids of profiles that changed during a cycle.
+DirtyProfileListener = Callable[[FrozenSet[int]], None]
 
 
 class UnknownNodeError(KeyError):
@@ -49,6 +52,36 @@ class Network:
         #: The engine keeps this up to date so that nodes can attribute
         #: traffic to the cycle in which it happened.
         self.current_cycle = 0
+        #: Ids of users whose profiles changed since the last cycle boundary.
+        #: The engine drains this set at the end of every cycle and fans it
+        #: out to the registered listeners (digest caches, metrics) so that
+        #: incremental state is invalidated in O(changes), not O(N).
+        self._dirty_profiles: Set[int] = set()
+        self._dirty_listeners: List[DirtyProfileListener] = []
+
+    # -- incremental-runtime dirty set ----------------------------------------
+
+    def mark_profiles_dirty(self, user_ids: Iterable[int]) -> None:
+        """Record that the given users' profiles changed this cycle."""
+        self._dirty_profiles.update(user_ids)
+
+    def add_profile_dirty_listener(self, listener: DirtyProfileListener) -> None:
+        """Register a callback for the per-cycle dirty-profile flush."""
+        self._dirty_listeners.append(listener)
+
+    def flush_dirty_profiles(self) -> FrozenSet[int]:
+        """Drain the dirty set and fan it out to the listeners.
+
+        Called by the engine at every cycle boundary; returns the flushed
+        set (empty on quiet cycles, which cost nothing).
+        """
+        if not self._dirty_profiles:
+            return frozenset()
+        dirty = frozenset(self._dirty_profiles)
+        self._dirty_profiles.clear()
+        for listener in self._dirty_listeners:
+            listener(dirty)
+        return dirty
 
     # -- registration ---------------------------------------------------------
 

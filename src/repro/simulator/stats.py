@@ -42,10 +42,19 @@ class TrafficRecord:
 
 
 class StatsCollector:
-    """Aggregate message counts and byte volumes across a simulation."""
+    """Aggregate message counts and byte volumes across a simulation.
+
+    Recording sits on the per-message hot path, so it only appends one row;
+    the per-kind/cycle/node/query aggregates are folded in lazily (and
+    incrementally -- each row is processed exactly once) the first time an
+    aggregate view is read after new traffic arrived.
+    """
 
     def __init__(self) -> None:
-        self._records: List[TrafficRecord] = []
+        #: Raw rows ``(cycle, sender, receiver, kind, size_bytes, query_id)``.
+        self._rows: List[tuple] = []
+        #: Number of leading rows already folded into the aggregates.
+        self._aggregated = 0
         self._bytes_by_kind: Dict[str, int] = defaultdict(int)
         self._bytes_by_cycle: Dict[int, int] = defaultdict(int)
         self._bytes_by_node: Dict[int, int] = defaultdict(int)
@@ -66,49 +75,80 @@ class StatsCollector:
     ) -> None:
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
-        record = TrafficRecord(cycle, sender, receiver, kind, size_bytes, query_id)
-        self._records.append(record)
-        self._bytes_by_kind[kind] += size_bytes
-        self._bytes_by_cycle[cycle] += size_bytes
-        self._bytes_by_node[sender] += size_bytes
-        self._messages_by_kind[kind] += 1
-        if query_id is not None:
-            self._bytes_by_query[query_id][kind] += size_bytes
-            self._messages_by_query[query_id][kind] += 1
+        self._rows.append((cycle, sender, receiver, kind, size_bytes, query_id))
+
+    def _catch_up(self) -> None:
+        """Fold not-yet-aggregated rows into the aggregate dictionaries."""
+        rows = self._rows
+        start = self._aggregated
+        if start == len(rows):
+            return
+        bytes_by_kind = self._bytes_by_kind
+        bytes_by_cycle = self._bytes_by_cycle
+        bytes_by_node = self._bytes_by_node
+        messages_by_kind = self._messages_by_kind
+        for cycle, sender, _receiver, kind, size_bytes, query_id in rows[start:]:
+            bytes_by_kind[kind] += size_bytes
+            bytes_by_cycle[cycle] += size_bytes
+            bytes_by_node[sender] += size_bytes
+            messages_by_kind[kind] += 1
+            if query_id is not None:
+                self._bytes_by_query[query_id][kind] += size_bytes
+                self._messages_by_query[query_id][kind] += 1
+        self._aggregated = len(rows)
 
     # -- aggregate views ------------------------------------------------------
 
     @property
     def records(self) -> List[TrafficRecord]:
-        return list(self._records)
+        return [TrafficRecord(*row) for row in self._rows]
+
+    def query_receivers(self, query_id: int, kind: str) -> set:
+        """Distinct receivers of one query's traffic of one kind.
+
+        Scans the raw rows without materializing :class:`TrafficRecord`
+        objects -- this backs per-query metrics (users reached) that would
+        otherwise allocate one object per recorded message per call.
+        """
+        return {
+            row[2] for row in self._rows if row[5] == query_id and row[3] == kind
+        }
 
     def total_bytes(self, kind: Optional[str] = None) -> int:
+        self._catch_up()
         if kind is None:
             return sum(self._bytes_by_kind.values())
         return self._bytes_by_kind.get(kind, 0)
 
     def total_messages(self, kind: Optional[str] = None) -> int:
+        self._catch_up()
         if kind is None:
             return sum(self._messages_by_kind.values())
         return self._messages_by_kind.get(kind, 0)
 
     def bytes_by_kind(self) -> Dict[str, int]:
+        self._catch_up()
         return dict(self._bytes_by_kind)
 
     def bytes_by_cycle(self) -> Dict[int, int]:
+        self._catch_up()
         return dict(self._bytes_by_cycle)
 
     def bytes_by_node(self) -> Dict[int, int]:
+        self._catch_up()
         return dict(self._bytes_by_node)
 
     def query_bytes(self, query_id: int) -> Dict[str, int]:
         """Per-kind byte totals attributed to one query (Figure 6 rows)."""
+        self._catch_up()
         return dict(self._bytes_by_query.get(query_id, {}))
 
     def query_messages(self, query_id: int) -> Dict[str, int]:
+        self._catch_up()
         return dict(self._messages_by_query.get(query_id, {}))
 
     def query_ids(self) -> List[int]:
+        self._catch_up()
         return sorted(self._bytes_by_query)
 
     # -- derived rates --------------------------------------------------------
@@ -128,6 +168,7 @@ class StatsCollector:
         """
         if seconds_per_cycle <= 0:
             raise ValueError("seconds_per_cycle must be positive")
+        self._catch_up()
         cycles = (max(self._bytes_by_cycle) + 1) if self._bytes_by_cycle else 1
         if kinds is None:
             total = self.total_bytes()
@@ -141,12 +182,4 @@ class StatsCollector:
 
     def merge(self, other: "StatsCollector") -> None:
         """Fold another collector's records into this one."""
-        for record in other._records:
-            self.record(
-                record.cycle,
-                record.sender,
-                record.receiver,
-                record.kind,
-                record.size_bytes,
-                record.query_id,
-            )
+        self._rows.extend(other._rows)

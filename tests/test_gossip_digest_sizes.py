@@ -9,6 +9,7 @@ from repro.gossip import (
     DIGEST_BYTES,
     TAGGING_ACTION_BYTES,
     USER_ID_BYTES,
+    DigestCache,
     DigestProvider,
     digest_message_size,
     make_digest,
@@ -108,3 +109,81 @@ class TestDigestProvider:
         assert second is not first
         assert second.version == profile.version
         assert second.might_contain_item(20)
+
+
+class TestDigestCache:
+    def test_digest_for_is_version_keyed(self):
+        cache = DigestCache(num_bits=256, num_hashes=3)
+        profile = UserProfile(1, [(10, 1), (11, 2)])
+        first = cache.digest_for(profile)
+        assert cache.digest_for(profile) is first
+        profile.add(12, 3)
+        second = cache.digest_for(profile)
+        assert second is not first
+        assert second.version == profile.version
+        assert second == make_digest(profile, num_bits=256, num_hashes=3)
+
+    def test_common_items_matches_direct_probe(self):
+        cache = DigestCache(num_bits=256, num_hashes=3)
+        receiver = UserProfile(1, [(10, 1), (11, 2), (99, 5)])
+        subject = UserProfile(2, [(11, 7), (42, 1)])
+        digest = cache.digest_for(subject)
+        assert cache.common_items(receiver, digest) == frozenset(
+            digest.common_items_with(receiver.items)
+        )
+        assert cache.shares_item(receiver, digest) == digest.shares_item_with(
+            receiver.items
+        )
+
+    def test_common_items_memo_invalidated_by_either_version(self):
+        cache = DigestCache(num_bits=256, num_hashes=3)
+        receiver = UserProfile(1, [(10, 1)])
+        subject = UserProfile(2, [(20, 1)])
+        digest = cache.digest_for(subject)
+        assert cache.common_items(receiver, digest) == frozenset()
+        # Receiver-side change: the new common item must appear.
+        receiver.add(20, 9)
+        assert 20 in cache.common_items(receiver, digest)
+        # Subject-side change: a fresh digest version must be re-probed.
+        subject.add(10, 9)
+        digest2 = cache.digest_for(subject)
+        assert 10 in cache.common_items(receiver, digest2)
+
+    def test_batch_prices_the_whole_candidate_set(self):
+        cache = DigestCache(num_bits=256, num_hashes=3)
+        receiver = UserProfile(1, [(10, 1), (20, 2)])
+        subjects = [UserProfile(2, [(10, 5)]), UserProfile(3, [(30, 5)])]
+        digests = [cache.digest_for(s) for s in subjects]
+        batch = cache.common_items_batch(receiver, digests)
+        assert set(batch) == {2, 3}
+        for digest in digests:
+            assert batch[digest.user_id] == frozenset(
+                digest.common_items_with(receiver.items)
+            )
+
+    def test_foreign_geometry_falls_back_to_direct_probe(self):
+        cache = DigestCache(num_bits=256, num_hashes=3)
+        receiver = UserProfile(1, [(10, 1)])
+        foreign = make_digest(UserProfile(2, [(10, 5)]), num_bits=64, num_hashes=2)
+        assert cache.common_items(receiver, foreign) == frozenset(
+            foreign.common_items_with(receiver.items)
+        )
+        assert cache.stats()["common_pairs"] == 0  # fallback is not memoized
+
+    def test_evict_profiles_reclaims_superseded_state(self):
+        cache = DigestCache(num_bits=256, num_hashes=3)
+        profile = UserProfile(7, [(10, 1)])
+        cache.digest_for(profile)
+        cache.common_items(profile, cache.digest_for(profile))
+        assert cache.stats()["digests"] == 1
+        cache.evict_profiles([7])
+        assert cache.stats()["digests"] == 0
+        assert cache.stats()["rows"] == 0
+        # Correctness never depended on eviction: the next read rebuilds.
+        assert cache.digest_for(profile).version == profile.version
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DigestCache(num_bits=0)
+        with pytest.raises(ValueError):
+            DigestCache(num_hashes=0)

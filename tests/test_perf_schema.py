@@ -1,0 +1,177 @@
+"""Schema tests for the perf harness report (``benchmarks.perf``).
+
+These pin the v2 report contract: macro entries must report
+``setup_seconds`` separately from the timed cycle loops (cycles/sec
+measures cycles only) and declare how the eager phase was warmed, and the
+scale-smoke gate must return a complete, budget-checked timing breakdown.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.perf import (  # noqa: E402
+    SCHEMA_VERSION,
+    bench_macro,
+    bench_scale_smoke,
+    compare_reports,
+    validate_report,
+)
+
+
+def _valid_report() -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "quick": False,
+        "digest": {
+            "membership_ops_per_sec": 1e6,
+            "membership_speedup": 5.0,
+            "build_per_sec": 1e4,
+        },
+        "similarity": {"overlap_pairs_per_sec": 1e6, "overlap_speedup": 8.0},
+        "macro": {
+            "100": {
+                "num_nodes": 100,
+                "lazy_cycles_per_sec": 20.0,
+                "eager_cycles_per_sec": 90.0,
+                "setup_seconds": 0.5,
+                "eager_warm": "ideal",
+            },
+            "10000": {
+                "num_nodes": 10000,
+                "lazy_cycles_per_sec": 0.2,
+                "eager_cycles_per_sec": 2.0,
+                "setup_seconds": 12.0,
+                "eager_warm": "lazy",
+            },
+        },
+    }
+
+
+class TestValidateReportV2:
+    def test_valid_report_passes(self):
+        assert validate_report(_valid_report()) == []
+
+    def test_schema_version_is_2(self):
+        assert SCHEMA_VERSION == 2
+
+    def test_old_schema_version_rejected(self):
+        report = _valid_report()
+        report["schema_version"] = 1
+        assert any("schema_version" in p for p in validate_report(report))
+
+    def test_missing_setup_seconds_rejected(self):
+        report = _valid_report()
+        del report["macro"]["100"]["setup_seconds"]
+        problems = validate_report(report)
+        assert any("setup_seconds" in p for p in problems)
+
+    def test_negative_setup_seconds_rejected(self):
+        report = _valid_report()
+        report["macro"]["100"]["setup_seconds"] = -1.0
+        assert any("setup_seconds" in p for p in validate_report(report))
+
+    def test_unknown_eager_warm_rejected(self):
+        report = _valid_report()
+        report["macro"]["100"]["eager_warm"] = "cold"
+        assert any("eager_warm" in p for p in validate_report(report))
+
+    def test_missing_cycle_rates_still_rejected(self):
+        report = _valid_report()
+        report["macro"]["100"]["lazy_cycles_per_sec"] = 0
+        assert any("lazy_cycles_per_sec" in p for p in validate_report(report))
+
+
+class TestMacroSetupSplit:
+    """The timing fix: setup must not leak into cycles/sec."""
+
+    @pytest.fixture(scope="class")
+    def entry(self):
+        macro = bench_macro(
+            sizes=(30,), lazy_cycles=2, num_queries=3, repeats=1, profile_phases=True
+        )
+        return macro["30"]
+
+    def test_setup_reported_separately(self, entry):
+        assert entry["setup_seconds"] >= 0
+        assert entry["lazy_cycles_per_sec"] > 0
+        assert entry["eager_cycles_per_sec"] > 0
+
+    def test_phase_breakdown_present_with_profile(self, entry):
+        phases = entry["phases"]
+        for key in (
+            "dataset_seconds",
+            "build_seconds",
+            "bootstrap_seconds",
+            "warm_seconds",
+            "lazy_seconds",
+            "eager_seconds",
+        ):
+            assert phases[key] >= 0
+        # Setup is exactly the non-cycle phases: the timed lazy/eager loops
+        # must not be part of it.
+        expected = (
+            phases["dataset_seconds"]
+            + phases["build_seconds"]
+            + phases["bootstrap_seconds"]
+            + phases["warm_seconds"]
+        )
+        assert entry["setup_seconds"] == pytest.approx(expected, abs=1e-3)
+
+    def test_small_sizes_use_ideal_warm(self, entry):
+        assert entry["eager_warm"] == "ideal"
+
+    def test_large_sizes_use_lazy_warm(self):
+        from benchmarks.perf.harness import LAZY_WARM_THRESHOLD
+
+        assert LAZY_WARM_THRESHOLD <= 5000  # the scale sizes must qualify
+
+
+class TestScaleSmoke:
+    def test_smoke_runs_and_reports(self):
+        result = bench_scale_smoke(size=40, budget_seconds=60.0, num_queries=2)
+        assert result["num_nodes"] == 40
+        assert result["within_budget"] is True
+        for key in (
+            "setup_seconds",
+            "lazy_cycle_seconds",
+            "eager_cycle_seconds",
+            "cycle_seconds",
+        ):
+            assert result[key] >= 0
+
+    def test_budget_violation_detected(self):
+        result = bench_scale_smoke(size=40, budget_seconds=1e-9, num_queries=2)
+        assert result["within_budget"] is False
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            bench_scale_smoke(size=0)
+        with pytest.raises(ValueError):
+            bench_scale_smoke(size=10, budget_seconds=0)
+
+
+class TestCompareReports:
+    def test_regression_detected_on_shared_sizes(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["macro"]["100"]["lazy_cycles_per_sec"] = 10.0  # was 20
+        problems = compare_reports(current, baseline, max_regression=0.10)
+        assert any("macro[100].lazy_cycles_per_sec" in p for p in problems)
+
+    def test_n1000_style_extra_sizes_compare_when_shared(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["macro"]["10000"]["eager_cycles_per_sec"] = 0.5  # was 2.0
+        problems = compare_reports(current, baseline)
+        assert any("macro[10000].eager_cycles_per_sec" in p for p in problems)
+
+    def test_quick_full_mismatch_rejected(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["quick"] = True
+        assert compare_reports(current, baseline) == [
+            "cannot compare a quick report against a full one"
+        ]

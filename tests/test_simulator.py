@@ -209,3 +209,44 @@ class TestEngine:
         _, _, engine = self._build()
         with pytest.raises(ValueError):
             engine.run_cycles(-1)
+
+
+class TestDirtyProfilePlumbing:
+    """The per-cycle dirty set: marked during a cycle, flushed at its end."""
+
+    def _build(self):
+        network = Network()
+        nodes = [RecordingNode(i) for i in range(3)]
+        network.add_nodes(nodes)
+        engine = SimulationEngine(network, seed=0)
+        return network, engine
+
+    def test_flush_fans_out_to_listeners_once(self):
+        network, engine = self._build()
+        seen = []
+        network.add_profile_dirty_listener(seen.append)
+        network.mark_profiles_dirty([1, 2])
+        network.mark_profiles_dirty([2])
+        flushed = network.flush_dirty_profiles()
+        assert flushed == frozenset({1, 2})
+        assert seen == [frozenset({1, 2})]
+        # The set drained: a second flush is an empty no-op.
+        assert network.flush_dirty_profiles() == frozenset()
+        assert seen == [frozenset({1, 2})]
+
+    def test_engine_flushes_at_cycle_boundary(self):
+        network, engine = self._build()
+        seen = []
+        network.add_profile_dirty_listener(seen.append)
+        engine.schedule(
+            ScheduledEvent(
+                cycle=0,
+                phase="lazy",
+                action=lambda _e: network.mark_profiles_dirty([0]),
+            )
+        )
+        engine.run_cycle(phase="lazy")
+        assert seen == [frozenset({0})]
+        # Quiet cycles flush nothing.
+        engine.run_cycle(phase="lazy")
+        assert seen == [frozenset({0})]
