@@ -321,6 +321,28 @@ class BloomFilter:
                 word ^= low
         return out
 
+    # -- state transfer -------------------------------------------------------
+
+    @property
+    def raw_bits(self) -> int:
+        """The packed bit array as an int (state transfer between processes)."""
+        return self._bits
+
+    @classmethod
+    def from_state(
+        cls, num_bits: int, num_hashes: int, bits: int, count: int
+    ) -> "BloomFilter":
+        """Rebuild a filter from ``(raw_bits, approximate_count)``.
+
+        The inverse of reading :attr:`raw_bits` / :attr:`approximate_count`:
+        used to adopt filters built by shard-parallel workers, where only
+        the two integers travel across the process boundary.
+        """
+        bloom = cls(num_bits=num_bits, num_hashes=num_hashes)
+        bloom._bits = bits
+        bloom._count = count
+        return bloom
+
     # -- introspection --------------------------------------------------------
 
     @property

@@ -23,7 +23,13 @@ from .dynamics import (
     massive_departure,
 )
 from .queries import Query, QueryWorkloadGenerator
-from .loader import DatasetFormatError, load_dataset, save_dataset
+from .loader import (
+    DatasetFormatError,
+    load_dataset,
+    load_or_generate_synthetic,
+    save_dataset,
+    synthetic_cache_key,
+)
 from .importers import (
     ImportResult,
     TraceImportError,
@@ -57,7 +63,9 @@ __all__ = [
     "import_tagging_trace",
     "iter_tagging_rows",
     "load_dataset",
+    "load_or_generate_synthetic",
     "massive_departure",
     "paper_scale_config",
     "save_dataset",
+    "synthetic_cache_key",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
 
 from .interning import intern_action
 
@@ -31,6 +31,13 @@ from .interning import intern_action
 TaggingAction = Tuple[int, int]
 
 _EMPTY_FROZENSET: FrozenSet[int] = frozenset()
+
+#: Per-profile-version cap on the whole-reply memos of
+#: :meth:`UserProfile.actions_for_items` / ``action_ids_for_items``.  The
+#: memo exists for *repeat* requests (popular subjects advertised to many
+#: receivers); past the cap, one-shot request sets are computed without
+#: being remembered, bounding the memo's memory at large N.
+_REPLY_MEMO_LIMIT = 512
 
 
 class UserProfile:
@@ -104,6 +111,37 @@ class UserProfile:
         """Add many actions; returns how many were actually new."""
         return sum(1 for item, tag in actions if self.add(item, tag))
 
+    @classmethod
+    def from_distinct_actions(
+        cls, user_id: int, actions: Sequence[TaggingAction]
+    ) -> "UserProfile":
+        """Build a profile from an action list in one direct pass.
+
+        State-identical to ``UserProfile(user_id, actions)`` -- same sets
+        with the same insertion order, same version counter (the number of
+        distinct actions) -- but every index is constructed exactly once at
+        C speed instead of through per-action ``add`` calls.  This is the
+        bulk-load path of the setup pipeline (synthetic generation and the
+        dataset disk cache); duplicate entries in ``actions`` are tolerated
+        and counted once, exactly as ``add`` would.
+        """
+        profile = cls.__new__(cls)
+        profile.user_id = user_id
+        action_set = set(actions)
+        profile._actions = action_set
+        profile._action_ids = {intern_action(item, tag) for item, tag in actions}
+        item_tags: Dict[int, Set[int]] = defaultdict(set)
+        tag_items: Dict[int, Set[int]] = defaultdict(set)
+        for item, tag in actions:
+            item_tags[item].add(tag)
+            tag_items[tag].add(item)
+        profile._item_tags = item_tags
+        profile._tag_items = tag_items
+        profile._version = len(action_set)
+        profile._cache = {"version": -1}
+        profile._shared = False
+        return profile
+
     def _materialize(self) -> None:
         """Replace shared index containers with private copies (COW write).
 
@@ -175,29 +213,101 @@ class UserProfile:
             return _EMPTY_FROZENSET
         return self._frozen(("tag", tag), items)
 
-    def actions_for_items(self, items: Iterable[int]) -> Set[TaggingAction]:
+    def actions_for_items(self, items: Iterable[int]) -> AbstractSet[TaggingAction]:
         """Tagging actions restricted to a set of items.
 
         This is the payload of step 2 of the lazy exchange: only the actions
         on *common* items are shipped so the peer can compute the exact
-        similarity score without receiving the whole profile.
+        similarity score without receiving the whole profile.  The returned
+        set must be treated as immutable: frozenset-typed requests are
+        served a shared cached frozenset (see below), other request types a
+        fresh set.
 
-        Per-item ``(item, tag)`` tuples are cached in the version cache: the
-        same popular items are requested over and over by different exchange
-        partners, and a hit turns the inner loop into one C-level set update.
+        Two levels of version-keyed caching serve the hot path:
+
+        * per-item ``(item, tag)`` tuples -- the same popular items are
+          requested over and over by different exchange partners, and a hit
+          turns the inner loop into one C-level set update;
+        * whole replies keyed by the request's frozenset -- the digest
+          cache hands every exchange of the same (receiver, subject) pair
+          at the same versions the *same* common-items frozenset, so a
+          repeat request returns one shared frozen reply without touching
+          the indexes at all.  Replicas share this memo through the
+          copy-on-write view cache: any holder of the subject's profile
+          at the same version serves the warm entry.
         """
-        item_tags = self._item_tags
         cache = self._cache
         if cache["version"] != self._version:
             cache.clear()
             cache["version"] = self._version
+        if type(items) is frozenset:
+            replies = cache.get("afi")
+            if replies is None:
+                replies = cache["afi"] = {}
+            reply = replies.get(items)
+            if reply is None:
+                reply = frozenset(self._collect_actions(items, cache))
+                if len(replies) < _REPLY_MEMO_LIMIT:
+                    replies[items] = reply
+            return reply
+        if not isinstance(items, (set, frozenset)):
+            items = set(items)
+        return self._collect_actions(items, cache)
+
+    def action_ids_for_items(self, items: Iterable[int]) -> FrozenSet[int]:
+        """Interned ids of the tagging actions restricted to ``items``.
+
+        The id-level sibling of :meth:`actions_for_items`: by bijectivity of
+        the interner the returned set has exactly the cardinality of the
+        tuple-level result, and ``len(receiver.action_ids & ids)`` is
+        exactly the overlap score -- so step 2 of the lazy exchange can
+        price, ship and score replies as C-level small-int sets without ever
+        materializing tuple sets.  Cached like the tuple form: per-item id
+        tuples plus a whole-reply memo keyed by the request frozenset, both
+        in the copy-on-write version cache shared by all replicas of this
+        profile at this version.
+        """
+        cache = self._cache
+        if cache["version"] != self._version:
+            cache.clear()
+            cache["version"] = self._version
+        hashable = type(items) is frozenset
+        if hashable:
+            replies = cache.get("afi_ids")
+            if replies is None:
+                replies = cache["afi_ids"] = {}
+            reply = replies.get(items)
+            if reply is not None:
+                return reply
+        item_tags = self._item_tags
+        pairs_by_item = cache.get("pairs_ids")
+        if pairs_by_item is None:
+            pairs_by_item = cache["pairs_ids"] = {}
+        ids: Set[int] = set()
+        update = ids.update
+        for item in items:
+            pairs = pairs_by_item.get(item)
+            if pairs is None:
+                tags = item_tags.get(item)
+                if not tags:
+                    continue
+                pairs = pairs_by_item[item] = tuple(
+                    intern_action(item, tag) for tag in tags
+                )
+            update(pairs)
+        reply = frozenset(ids)
+        if hashable and len(replies) < _REPLY_MEMO_LIMIT:
+            replies[items] = reply
+        return reply
+
+    def _collect_actions(self, items: Iterable[int], cache: Dict[object, object]) -> Set[TaggingAction]:
+        """The uncached single pass behind :meth:`actions_for_items`."""
+        item_tags = self._item_tags
         pairs_by_item = cache.get("pairs")
         if pairs_by_item is None:
             pairs_by_item = cache["pairs"] = {}
         actions: Set[TaggingAction] = set()
         update = actions.update
-        if not isinstance(items, (set, frozenset)):
-            items = set(items)
         for item in items:
             pairs = pairs_by_item.get(item)
             if pairs is None:

@@ -15,17 +15,39 @@ the protocol actually depends on:
   property that makes similarity-biased gossip converge faster than random
   search and that gives personalized top-k results their meaning.
 
-The generator is fully deterministic given a seed.
+The generator is fully deterministic given a seed, and the generation path
+is a *streaming single pass*: :meth:`SyntheticTraceGenerator.iter_profiles`
+yields one finished, fully-indexed :class:`~repro.data.models.UserProfile`
+at a time (built through the direct interned constructor, so indexes are
+populated exactly once), and :meth:`~SyntheticTraceGenerator.generate`
+merely collects that stream into a :class:`~repro.data.models.Dataset`.
+Consumers that persist or shard the trace (the dataset disk cache in
+:mod:`repro.data.loader`, the shard-parallel bootstrap) ride the stream
+without ever holding a second copy of the actions.
+
+Per-community popularity distributions are materialized once as cumulative
+weight tables; the per-action draws then run ``random.choices`` with
+``cum_weights=``, which consumes exactly the same single ``random()`` call
+and bisects over exactly the same floats as the previous per-call
+``weights=`` form -- traces are bit-identical to those generated before the
+streaming rewrite (pinned by the dataset fingerprint test).
 """
 
 from __future__ import annotations
 
 import math
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from itertools import accumulate
+from typing import Dict, Iterator, List, Sequence
 
 from .models import Dataset, TaggingAction, UserProfile
+
+#: Bump when the generation algorithm changes its draws: the dataset disk
+#: cache (:mod:`repro.data.loader`) keys cached traces on the config *and*
+#: this fingerprint, so a stale cache can never shadow a new generator.
+GENERATOR_FINGERPRINT = "synthetic-trace-v1"
 
 
 @dataclass(frozen=True)
@@ -69,13 +91,24 @@ class SyntheticConfig:
 
 @dataclass
 class Community:
-    """A topical community: a pool of items and tags with Zipf popularity."""
+    """A topical community: a pool of items and tags with Zipf popularity.
+
+    ``item_cum`` / ``tag_cum`` are the cumulative-weight tables fed to
+    ``random.choices(..., cum_weights=...)``: precomputing them turns every
+    weighted draw from O(pool) into O(log pool) while consuming the exact
+    same floats (``accumulate`` is what ``choices`` runs internally).
+    """
 
     community_id: int
     items: List[int]
     tags: List[int]
     item_weights: List[float] = field(default_factory=list)
     tag_weights: List[float] = field(default_factory=list)
+    item_cum: List[float] = field(default_factory=list)
+    tag_cum: List[float] = field(default_factory=list)
+    #: ``cum[-1] + 0.0`` exactly as ``random.choices`` computes its total.
+    item_total: float = 0.0
+    tag_total: float = 0.0
 
 
 def _zipf_weights(n: int, exponent: float) -> List[float]:
@@ -106,6 +139,8 @@ class SyntheticTraceGenerator:
         self._communities = self._build_communities()
         self._memberships: Dict[int, List[int]] = {}
         self._dataset: Dataset | None = None
+        #: Index of the next user the streaming pass will emit.
+        self._next_user = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -113,14 +148,41 @@ class SyntheticTraceGenerator:
         """Generate the full dataset (cached: repeated calls return the same trace)."""
         if self._dataset is not None:
             return self._dataset
-        profiles: Dict[int, UserProfile] = {}
+        self._dataset = Dataset({p.user_id: p for p in self.iter_profiles()})
+        return self._dataset
+
+    def iter_user_actions(self) -> Iterator[tuple[int, List[TaggingAction]]]:
+        """Stream ``(user_id, actions)`` pairs, one user per step (single pass).
+
+        The yielded list is exactly what
+        :meth:`UserProfile.from_distinct_actions` receives on the generation
+        path -- persisting it and replaying it through the same constructor
+        reproduces the profile bit for bit, including set layout.  The
+        stream shares the generator's single RNG, so it can only run
+        forward once.
+        """
+        if self._next_user != 0 or self._dataset is not None:
+            raise RuntimeError("the generation stream was already consumed")
         for user_id in range(self.config.num_users):
+            self._next_user = user_id + 1
             memberships = self._pick_communities(user_id)
             self._memberships[user_id] = memberships
-            actions = self._generate_actions(memberships)
-            profiles[user_id] = UserProfile(user_id, actions)
-        self._dataset = Dataset(profiles)
-        return self._dataset
+            yield user_id, self._generate_actions(memberships)
+
+    def iter_profiles(self) -> Iterator[UserProfile]:
+        """Stream the trace one finished profile at a time (single pass).
+
+        Profiles come out fully indexed through
+        :meth:`UserProfile.from_distinct_actions` -- the interned action-id
+        set, the item/tag indexes and the version counter are built exactly
+        once, directly from the generated action list.  Use :meth:`generate`
+        for the collected (and cached) dataset.
+        """
+        if self._dataset is not None:
+            yield from self._dataset.profiles()
+            return
+        for user_id, actions in self.iter_user_actions():
+            yield UserProfile.from_distinct_actions(user_id, actions)
 
     def community_memberships(self) -> Dict[int, List[int]]:
         """user_id -> community ids used while generating each profile.
@@ -155,13 +217,21 @@ class SyntheticTraceGenerator:
             extra_tags = self._rng.sample(tags, k=min(len(tags), tags_per_comm // 5))
             comm_items = list(dict.fromkeys(comm_items + extra_items))
             comm_tags = list(dict.fromkeys(comm_tags + extra_tags))
+            item_weights = _zipf_weights(len(comm_items), cfg.item_zipf_exponent)
+            tag_weights = _zipf_weights(len(comm_tags), cfg.tag_zipf_exponent)
+            item_cum = list(accumulate(item_weights))
+            tag_cum = list(accumulate(tag_weights))
             communities.append(
                 Community(
                     community_id=cid,
                     items=comm_items,
                     tags=comm_tags,
-                    item_weights=_zipf_weights(len(comm_items), cfg.item_zipf_exponent),
-                    tag_weights=_zipf_weights(len(comm_tags), cfg.tag_zipf_exponent),
+                    item_weights=item_weights,
+                    tag_weights=tag_weights,
+                    item_cum=item_cum,
+                    tag_cum=tag_cum,
+                    item_total=item_cum[-1] + 0.0,
+                    tag_total=tag_cum[-1] + 0.0,
                 )
             )
         return communities
@@ -174,28 +244,44 @@ class SyntheticTraceGenerator:
     def _generate_actions(self, memberships: Sequence[int]) -> List[TaggingAction]:
         cfg = self.config
         rng = self._rng
+        rand = rng.random
+        randint = rng.randint
+        randrange = rng.randrange
+        choice = rng.choice
+        communities = self._communities
+        affinity = cfg.community_affinity
+        num_items = cfg.num_items
+        num_tags_universe = cfg.num_tags
+        max_tags = cfg.max_tags_per_item
         target = _heavy_tailed_count(rng, cfg.mean_actions_per_user)
         actions: set[TaggingAction] = set()
+        add = actions.add
         attempts = 0
         max_attempts = target * 10
+        # The weighted draws inline ``random.choices(pool, cum_weights=cum,
+        # k=1)``: one ``random()`` call bisected over the precomputed table
+        # with the identical ``hi = len(pool) - 1`` bound and the identical
+        # ``cum[-1] + 0.0`` total, so the consumed stream (and therefore the
+        # trace) is bit-identical to the pre-streaming generator.
         while len(actions) < target and attempts < max_attempts:
             attempts += 1
-            if rng.random() < cfg.community_affinity:
-                community = self._communities[rng.choice(list(memberships))]
-                item = rng.choices(community.items, weights=community.item_weights, k=1)[0]
+            if rand() < affinity:
+                community = communities[choice(memberships)]
+                pool = community.items
+                item = pool[bisect(community.item_cum, rand() * community.item_total, 0, len(pool) - 1)]
                 tag_pool = community.tags
-                tag_weights = community.tag_weights
+                tag_cum = community.tag_cum
+                tag_total = community.tag_total
             else:
-                item = rng.randrange(cfg.num_items)
+                item = randrange(num_items)
                 tag_pool = None
-                tag_weights = None
-            num_tags = rng.randint(1, cfg.max_tags_per_item)
+            num_tags = randint(1, max_tags)
             for _ in range(num_tags):
                 if tag_pool is not None:
-                    tag = rng.choices(tag_pool, weights=tag_weights, k=1)[0]
+                    tag = tag_pool[bisect(tag_cum, rand() * tag_total, 0, len(tag_pool) - 1)]
                 else:
-                    tag = rng.randrange(cfg.num_tags)
-                actions.add((item, tag))
+                    tag = randrange(num_tags_universe)
+                add((item, tag))
         return list(actions)
 
 

@@ -20,7 +20,7 @@ lazy exchange is built on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..bloom import PAPER_DIGEST_BITS, BloomFilter
 from ..bloom.bloom import probe_positions
@@ -30,6 +30,10 @@ from .sizes import DIGEST_BYTES
 
 #: Shared empty common-item set (most probes find nothing in common).
 _EMPTY_ITEMS: "FrozenSet[int]" = frozenset()
+
+#: One priced (receiver, subject) pair as recorded by a pricing worker:
+#: ``(receiver_id, receiver_version, subject_id, digest_version, common)``.
+PricedPair = Tuple[int, int, int, int, FrozenSet[int]]
 
 
 @dataclass(frozen=True)
@@ -141,6 +145,13 @@ class DigestCache:
     gossip, not by version churn.
     """
 
+    #: Cap on the (receiver, subject) common-item memo.  The memo exists for
+    #: pairs that gossip repeatedly; at large N the stream of one-shot
+    #: random-view pairs would otherwise grow it without bound.  Overflow
+    #: clears the memo wholesale -- correctness is version-checked on every
+    #: read, so the only effect is a transient dip in hit rate.
+    MAX_COMMON_PAIRS = 1 << 19
+
     def __init__(
         self,
         num_bits: int = PAPER_DIGEST_BITS,
@@ -151,6 +162,12 @@ class DigestCache:
         self.num_bits = num_bits
         self.num_hashes = num_hashes
         self._digests: Dict[int, ProfileDigest] = {}
+        #: When not ``None``, every memo *miss* also appends its
+        #: ``(receiver_id, receiver_version, subject_id, digest_version,
+        #: common_items)`` entry here.  The sharded engine's pricing workers
+        #: record the entries they compute against their snapshot so the
+        #: merge barrier can install them into the live cache.
+        self._recorder: Optional[List[PricedPair]] = None
         #: user_id -> (profile_version, first-position keys, first-position ->
         #: ((item, probe_positions), ...) buckets).  The first-position index
         #: lets one C-level set intersection reject almost every row of a
@@ -244,7 +261,14 @@ class DigestCache:
                     if issuperset(positions)
                 }
             )
-        self._common[key] = (receiver.version, digest.version, common)
+        memo_map = self._common
+        if len(memo_map) >= self.MAX_COMMON_PAIRS:
+            memo_map.clear()
+        memo_map[key] = (receiver.version, digest.version, common)
+        if self._recorder is not None:
+            self._recorder.append(
+                (receiver.user_id, receiver.version, digest.user_id, digest.version, common)
+            )
         return common
 
     def common_items_batch(
@@ -265,6 +289,54 @@ class DigestCache:
         pair was already probed (and primes the memo when it was not).
         """
         return bool(self.common_items(receiver, digest))
+
+    def install_digest(self, user_id: int, version: int, bits: int, count: int) -> None:
+        """Adopt a digest built by a shard-parallel worker.
+
+        ``bits``/``count`` are the worker's :attr:`BloomFilter.raw_bits` /
+        ``approximate_count`` for the user's profile at ``version`` -- by
+        construction identical to what :meth:`digest_for` would build here.
+        The set-bit index set is not shipped (it would dwarf the payload);
+        the first probe decomposes the bit array lazily, yielding the same
+        positions the eager seeding would have produced.
+        """
+        bloom = BloomFilter.from_state(self.num_bits, self.num_hashes, bits, count)
+        self._digests[user_id] = ProfileDigest(user_id=user_id, version=version, bloom=bloom)
+
+    # -- sharded-engine pricing hand-off --------------------------------------
+
+    def record_pricing(self, sink: Optional[List["PricedPair"]]) -> None:
+        """Start (or, with ``None``, stop) recording memo misses into ``sink``.
+
+        Used inside pricing workers: the entries a worker computes against
+        its snapshot are exactly the memo rows the serial apply phase would
+        compute, so shipping them back and installing them warms the live
+        cache without any behavioural effect.
+        """
+        self._recorder = sink
+
+    def install_common_entries(self, entries: Iterable["PricedPair"]) -> int:
+        """Merge-barrier install of priced (receiver, subject) pairs.
+
+        Every read of the memo re-validates the stored versions against the
+        live profile and digest, so an entry is *served only at the exact
+        versions it names*: entries priced against a superseded snapshot
+        are inert (at worst they waste a slot).  Callers must supply
+        internally consistent entries -- value computed by the pricing
+        function from the content those versions denote -- which recorded
+        worker entries are by construction, since workers run the same pure
+        pricing code.  Entries are installed in the order given (the engine
+        feeds shards in shard-index order, so the final memo content is
+        deterministic).  Returns how many entries were installed.
+        """
+        memo_map = self._common
+        installed = 0
+        for receiver_id, receiver_version, subject_id, digest_version, common in entries:
+            if len(memo_map) >= self.MAX_COMMON_PAIRS:
+                memo_map.clear()
+            memo_map[(receiver_id, subject_id)] = (receiver_version, digest_version, common)
+            installed += 1
+        return installed
 
     # -- invalidation ---------------------------------------------------------
 

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..data.models import TaggingAction, UserProfile
+from ..data.models import UserProfile
 from ..similarity.metrics import overlap_score_from_actions
 from ..simulator.network import Network
 from ..simulator.transport import (
@@ -187,9 +187,12 @@ class LazyExchangeProtocol:
         items: Set[int],
         network: Network,
         query_id: Optional[int] = None,
-    ) -> Optional[Set[TaggingAction]]:
+    ) -> Optional[Set[int]]:
         """Step-2 round-trip: the subject's actions on the common items.
 
+        The reply carries interned action ids (see
+        :class:`~repro.simulator.transport.CommonItemsReply`): same
+        cardinality, same accounting, same overlap score as the tuple form.
         ``items`` is handed to the message as-is (no defensive copy: this is
         the hot path and every handler treats message payloads as read-only).
         """
@@ -235,7 +238,7 @@ class LazyExchangeProtocol:
         Returns the list of user ids that were added to / refreshed in the
         receiver's personal network.
         """
-        own_actions = receiver.profile.actions
+        own_ids = receiver.profile.action_ids
 
         #: (digest, gated) in advertisement order; ``gated`` marks unknown
         #: candidates that must pass the step-1 common-item gate.
@@ -276,7 +279,7 @@ class LazyExchangeProtocol:
                 )
                 if profile is None:
                     continue
-                score = overlap_score_from_actions(own_actions, profile.actions)
+                score = overlap_score_from_actions(own_ids, profile.action_ids)
                 if receiver.personal_network.consider(digest.user_id, score, digest):
                     receiver.personal_network.store_profile(digest.user_id, profile)
                     updated.append(digest.user_id)
@@ -292,7 +295,7 @@ class LazyExchangeProtocol:
             )
             if actions is None:
                 continue
-            score = overlap_score_from_actions(own_actions, actions)
+            score = overlap_score_from_actions(own_ids, actions)
             if score <= 0:
                 # A Bloom false positive: no real common action after all.
                 continue
@@ -324,7 +327,7 @@ class LazyExchangeProtocol:
         evaluated is skipped, so stable views do not generate traffic every
         cycle.
         """
-        own_actions = peer.profile.actions
+        own_ids = peer.profile.action_ids
         added: List[int] = []
         evaluated = self._evaluated.get(peer.node_id)
         if evaluated is None:
@@ -347,7 +350,7 @@ class LazyExchangeProtocol:
                 profile = self._fetch_profile(peer, subject_id, subject_id, network)
                 if profile is None:
                     continue
-                score = overlap_score_from_actions(own_actions, profile.actions)
+                score = overlap_score_from_actions(own_ids, profile.action_ids)
                 if score > 0 and peer.personal_network.consider(
                     subject_id, score, self._subject_digest(network, subject_id)
                 ):
@@ -360,7 +363,7 @@ class LazyExchangeProtocol:
             )
             if actions is None:
                 continue
-            score = overlap_score_from_actions(own_actions, actions)
+            score = overlap_score_from_actions(own_ids, actions)
             if score <= 0:
                 continue
             if peer.personal_network.consider(

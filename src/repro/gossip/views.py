@@ -381,16 +381,20 @@ class RandomView:
         """Union with the received digests, then keep ``size`` at random.
 
         Newer digest versions replace older ones for the same user; the owner
-        is never a member of her own view.
+        is never a member of her own view.  The union mutates the entry dict
+        in place (the received digests never reference it), saving one dict
+        copy on a path that runs twice per node per cycle.
         """
-        pool: Dict[int, ProfileDigest] = dict(self._entries)
+        entries = self._entries
+        owner_id = self.owner_id
+        get = entries.get
         for digest in received:
-            if digest.user_id == self.owner_id:
+            user_id = digest.user_id
+            if user_id == owner_id:
                 continue
-            current = pool.get(digest.user_id)
+            current = get(user_id)
             if current is None or digest.version >= current.version:
-                pool[digest.user_id] = digest
-        self._entries = pool
+                entries[user_id] = digest
         self._sorted_ids = None
         self._digest_list = None
         self._shrink_random(rng)

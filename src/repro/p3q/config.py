@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Union
+from typing import Mapping, Optional, Union
 
 from ..simulator.transport import TRANSPORT_NAMES
 
@@ -56,6 +56,18 @@ class P3QConfig:
     loss_rate: float = 0.0
     #: Maximum per-exchange delay in cycles (latency transport).
     delay_cycles: int = 0
+    #: Worker count of the sharded cycle engine.  ``1`` runs the serial
+    #: reference engine; higher counts enable parallel per-shard exchange
+    #: pricing, which is bit-identical to serial for any value (see
+    #: :mod:`repro.simulator.shard`).
+    workers: int = 1
+    #: Executor of the sharded engine: ``"auto"`` (fork when the machine has
+    #: the cores for it, inline otherwise), ``"inline"`` or ``"fork"``.
+    engine_executor: str = "auto"
+    #: When set, the traffic collector folds its raw row buffer into the
+    #: aggregates every ``stats_flush_every`` cycles, bounding memory on
+    #: long large-N runs (per-record views then only cover retained rows).
+    stats_flush_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.network_size <= 0:
@@ -87,6 +99,15 @@ class P3QConfig:
             raise ValueError(
                 "transport 'lossy' ignores delay_cycles; use 'latency'"
             )
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.engine_executor not in ("auto", "inline", "fork"):
+            raise ValueError(
+                f"engine_executor must be 'auto', 'inline' or 'fork', "
+                f"got {self.engine_executor!r}"
+            )
+        if self.stats_flush_every is not None and self.stats_flush_every < 1:
+            raise ValueError("stats_flush_every must be positive when set")
 
     def storage_for(self, user_id: int) -> int:
         """The stored-profile budget ``c`` of one user."""
@@ -115,3 +136,7 @@ class P3QConfig:
         return replace(
             self, transport=transport, loss_rate=loss_rate, delay_cycles=delay_cycles
         )
+
+    def with_workers(self, workers: int, engine_executor: str = "auto") -> "P3QConfig":
+        """A copy of this config running on the sharded engine."""
+        return replace(self, workers=workers, engine_executor=engine_executor)

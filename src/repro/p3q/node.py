@@ -134,6 +134,13 @@ class P3QNode(Node):
             return None
         return profile.actions_for_items(items)
 
+    def action_ids_for_items_of(self, subject_id: int, items: Set[int]) -> Optional[Set[int]]:
+        """Interned-id form of :meth:`actions_for_items_of` (the wire payload)."""
+        profile = self._held_profile(subject_id)
+        if profile is None:
+            return None
+        return profile.action_ids_for_items(items)
+
     def full_profile_of(self, subject_id: int) -> Optional[UserProfile]:
         profile = self._held_profile(subject_id)
         if profile is None:
@@ -204,6 +211,8 @@ class P3QNode(Node):
         session.set_remaining(self.personal_network.unstored_ids())
         self.mark_contributed(query.query_id, contributors)
         self.sessions[query.query_id] = session
+        if self._network is not None:
+            self._network.note_query_session(self.node_id)
         return session
 
     def receive_partial_result(self, partial: PartialResult) -> None:
@@ -243,7 +252,7 @@ class P3QNode(Node):
         message = envelope.message
         return CommonItemsReply(
             subject_id=message.subject_id,
-            actions=self.actions_for_items_of(message.subject_id, message.items),
+            actions=self.action_ids_for_items_of(message.subject_id, message.items),
         )
 
     def _handle_digest_advertisement(self, envelope: Envelope) -> Optional[Message]:
@@ -280,6 +289,7 @@ class P3QNode(Node):
             else:
                 merged = set(state.remaining) | set(kept)
                 state.remaining = sorted(merged)
+            self.network.note_eager_work(self.node_id)
         return RemainingReturn(query_id=query.query_id, remaining=tuple(returned))
 
     def _handle_remaining_return(self, envelope: Envelope) -> None:
@@ -293,10 +303,12 @@ class P3QNode(Node):
         session = self.sessions.get(message.query_id)
         if session is not None:
             session.remaining = sorted(set(session.remaining) | set(message.remaining))
+            self.network.note_eager_work(self.node_id)
             return None
         state = self.forwarded.get(message.query_id)
         if state is not None:
             state.remaining = sorted(set(state.remaining) | set(message.remaining))
+            self.network.note_eager_work(self.node_id)
         return None
 
     def profile_for_query(self, user_id: int) -> Optional[UserProfile]:

@@ -19,7 +19,13 @@ from ..gossip.peer_sampling import PeerSamplingProtocol
 from ..gossip.profile_exchange import LazyExchangeProtocol
 from ..gossip.views import PersonalNetwork
 from ..similarity.knn import IdealNetworkIndex
-from ..simulator.engine import PHASE_EAGER, PHASE_LAZY, SimulationEngine
+from ..simulator.engine import PHASE_EAGER, PHASE_LAZY, SimulationEngine, paused_gc
+from ..simulator.shard import (
+    EXECUTOR_FORK,
+    ShardedEngine,
+    partition_shards,
+    run_forked_shards,
+)
 from ..simulator.network import Network
 from ..simulator.stats import KIND_REMAINING_FORWARD, StatsCollector
 from ..simulator.transport import make_transport
@@ -29,13 +35,26 @@ from .node import P3QNode
 from .query import CycleSnapshot, QuerySession
 
 
+def _build_digest_shard(sim: "P3QSimulation", shard_index: int):
+    """Worker: build one shard's digests against the fork snapshot."""
+    cache = sim.digest_cache
+    out = []
+    for user_id in sim._bootstrap_shards[shard_index]:
+        profile = sim.nodes[user_id].profile
+        digest = cache.digest_for(profile)
+        out.append(
+            (user_id, digest.version, digest.bloom.raw_bits, digest.bloom.approximate_count)
+        )
+    return out
+
+
 class P3QSimulation:
     """A complete P3Q deployment over a dataset, driven cycle by cycle."""
 
     def __init__(self, dataset: Dataset, config: P3QConfig) -> None:
         self.dataset = dataset
         self.config = config
-        self.stats = StatsCollector()
+        self.stats = StatsCollector(flush_every=config.stats_flush_every)
         self.network = Network(
             stats=self.stats,
             transport=make_transport(
@@ -45,7 +64,18 @@ class P3QSimulation:
                 seed=config.seed,
             ),
         )
-        self.engine = SimulationEngine(self.network, seed=config.seed)
+        # ``workers > 1`` runs the sharded engine (bit-identical to serial
+        # for any worker count -- see repro.simulator.shard); ``workers=1``
+        # is the serial reference engine itself.
+        if config.workers > 1:
+            self.engine: SimulationEngine = ShardedEngine(
+                self.network,
+                seed=config.seed,
+                workers=config.workers,
+                executor=config.engine_executor,
+            )
+        else:
+            self.engine = SimulationEngine(self.network, seed=config.seed)
         # The incremental runtime's shared cache: one digest / probe-row set
         # per profile version for the whole deployment.  The engine flushes
         # the per-cycle dirty set into it at each cycle boundary.
@@ -53,6 +83,8 @@ class P3QSimulation:
             num_bits=config.digest_bits, num_hashes=config.digest_hashes
         )
         self.network.add_profile_dirty_listener(self.digest_cache.evict_profiles)
+        if isinstance(self.engine, ShardedEngine):
+            self.engine.attach_pricing(self.digest_cache)
         # One shared instance of each protocol: they are stateless apart from
         # bounded caches, and sharing keeps memory linear in the user count.
         self.peer_sampling = PeerSamplingProtocol(account_traffic=config.account_traffic)
@@ -94,18 +126,72 @@ class P3QSimulation:
         The paper assumes users first discover "the contact information of
         any user currently in the system" through peer sampling; seeding each
         view with ``r`` random digests reproduces that starting point.
+
+        On the sharded engine with the fork executor, the expensive part --
+        building every user's Bloom digest -- runs shard-parallel first
+        (pure per-user work, merged deterministically); the RNG-driven
+        contact draws then replay serially against the warm digest cache,
+        so the seeded views are identical for any worker count.
         """
         count = contacts_per_node or self.config.random_view_size
+        self._parallel_digest_build()
         user_ids = list(self.nodes)
-        for position, node in enumerate(self.nodes.values()):
-            # Equivalent to filtering out the node itself, but via C-level
-            # slicing: the Python-level scan was quadratic at large N.
-            others = user_ids[:position] + user_ids[position + 1:]
-            if not others:
-                continue
-            sample = self._bootstrap_rng.sample(others, k=min(count, len(others)))
-            digests = [self.nodes[uid].own_digest() for uid in sample]
+        total = len(user_ids)
+        if total <= 1:
+            return
+        nodes = self.nodes
+        sample = self._bootstrap_rng.sample
+        own = min(count, total - 1)
+        for position, node in enumerate(nodes.values()):
+            # ``sample(others, k)`` consumes randomness as a function of
+            # ``(len(others), k)`` only, so sampling *positions* from an index
+            # range and mapping them over the self-gap draws the exact same
+            # contacts as materializing the N-1 element "everyone but me"
+            # list per node -- without the O(N^2) list building that used to
+            # dominate large-N bootstrap.
+            positions = sample(range(total - 1), k=own)
+            digests = [
+                nodes[user_ids[j if j < position else j + 1]].own_digest()
+                for j in positions
+            ]
             node.bootstrap_random_view(digests)
+
+    def _parallel_digest_build(self) -> int:
+        """Shard-parallel digest construction for the whole population.
+
+        A pure cache warm-up: each worker builds the digests of its shard's
+        profiles against the fork snapshot and ships back ``(user_id,
+        version, raw_bits, count)``; the parent installs them in shard
+        order.  Any entry superseded by a later profile change is simply
+        rebuilt on first use (every cache read validates versions).  Returns
+        the number of digests installed; 0 when the engine is serial, the
+        executor is inline, or the population is too small to pay the fork.
+        """
+        engine = self.engine
+        if not isinstance(engine, ShardedEngine) or engine.executor != EXECUTOR_FORK:
+            return 0
+        if len(self.nodes) < 4 * engine.workers:
+            return 0
+
+        shards = partition_shards(list(self.nodes), engine.workers)
+        self._bootstrap_shards = shards
+        try:
+            results = run_forked_shards(
+                self, _build_digest_shard, len(shards), engine.workers
+            )
+        finally:
+            self._bootstrap_shards = ()
+        if results is None:
+            return 0  # advisory warm-up: the serial path rebuilds on demand
+
+        installed = 0
+        cache = self.digest_cache
+        for shard_entries in results:
+            for user_id, version, bits, bloom_count in shard_entries:
+                if self.nodes[user_id].profile.version == version:
+                    cache.install_digest(user_id, version, bits, bloom_count)
+                    installed += 1
+        return installed
 
     def warm_start(self, ideal: Optional[IdealNetworkIndex] = None) -> IdealNetworkIndex:
         """Install the ideal personal networks directly (converged state).
@@ -157,12 +243,28 @@ class P3QSimulation:
         return sessions
 
     def eager_participants(self) -> List[int]:
-        """Online nodes that still have eager work to do this cycle."""
-        return [
-            uid
-            for uid in self.network.online_ids()
-            if self.nodes[uid].has_active_queries()
-        ]
+        """Online nodes that still have eager work to do this cycle.
+
+        Filters the network's eager-work registry (every node registers
+        itself the moment it acquires a session or a forwarded list)
+        instead of scanning the whole population: identical participant
+        lists, O(active) instead of O(N) per cycle.  A candidate that
+        proves idle *while online* is retired from the registry -- it can
+        only become active again through a message, which re-registers it;
+        offline candidates are kept (they may still hold work when churn
+        brings them back).
+        """
+        network = self.network
+        nodes = self.nodes
+        participants: List[int] = []
+        for uid in network.eager_work_candidates():
+            if not network.is_online(uid):
+                continue
+            if nodes[uid].has_active_queries():
+                participants.append(uid)
+            else:
+                network.retire_eager_work(uid)
+        return participants
 
     def run_eager(
         self,
@@ -180,20 +282,24 @@ class P3QSimulation:
         """
         run = 0
         transport = self.network.transport
-        for _ in range(cycles):
-            participants = self.eager_participants()
-            if stop_when_idle and not participants and transport.pending_count() == 0:
-                break
-            self.engine.run_cycle(phase=PHASE_EAGER, participants=participants)
-            self._eager_cycles_run += 1
-            run += 1
-            snapshots: Dict[int, CycleSnapshot] = {}
-            for node in self.nodes.values():
-                for session in node.sessions.values():
-                    snapshot = session.close_cycle(self._eager_cycles_run)
-                    snapshots[session.query.query_id] = snapshot
-            if callback is not None:
-                callback(self._eager_cycles_run, snapshots)
+        with paused_gc():
+            for _ in range(cycles):
+                participants = self.eager_participants()
+                if stop_when_idle and not participants and transport.pending_count() == 0:
+                    break
+                self.engine.run_cycle(phase=PHASE_EAGER, participants=participants)
+                self._eager_cycles_run += 1
+                run += 1
+                snapshots: Dict[int, CycleSnapshot] = {}
+                # Only nodes that ever opened a session can hold one; the
+                # registry iterates in the same ascending-id order as the
+                # full node table did.
+                for uid in self.network.session_holders():
+                    for session in self.nodes[uid].sessions.values():
+                        snapshot = session.close_cycle(self._eager_cycles_run)
+                        snapshots[session.query.query_id] = snapshot
+                if callback is not None:
+                    callback(self._eager_cycles_run, snapshots)
         return run
 
     def sessions(self) -> Dict[int, QuerySession]:

@@ -44,6 +44,8 @@ from .spec import ScenarioSpec
 CRASH = "crash"
 #: Violation name of the zero-condition bit-equivalence property.
 ZERO_CONDITION_EQUIVALENCE = "zero-condition-equivalence"
+#: Violation name of the sharded-engine bit-equivalence property.
+WORKER_COUNT_EQUIVALENCE = "worker-count-equivalence"
 
 
 @dataclass
@@ -103,6 +105,10 @@ def build_simulation(spec: ScenarioSpec) -> P3QSimulation:
         transport=spec.transport,
         loss_rate=spec.loss_rate,
         delay_cycles=spec.delay_cycles,
+        workers=spec.workers,
+        # Fuzzing must exercise the real fork path even on one-core CI
+        # runners, where "auto" would (correctly) fall back to inline.
+        engine_executor="fork" if spec.workers > 1 else "auto",
     )
     return P3QSimulation(dataset, config)
 
@@ -296,6 +302,29 @@ def run_scenario(
     except Exception as error:  # noqa: BLE001 - a crash IS a fuzzing result
         violation = InvariantViolation(CRASH, f"{type(error).__name__}: {error}")
         return ScenarioResult(spec=spec, violation=violation, fingerprint=None, checked=names)
+
+    if spec.workers > 1:
+        # Sharded-engine equivalence: the same scenario on the serial
+        # reference engine must produce a bit-identical fingerprint.
+        try:
+            serial_twin = _execute(spec.but(workers=1), ())
+        except Exception as error:  # noqa: BLE001
+            violation = InvariantViolation(CRASH, f"serial twin crashed: {error}")
+            return ScenarioResult(spec=spec, violation=violation, fingerprint=fp, checked=names)
+        if serial_twin != fp:
+            diverging = sorted(key for key in fp if fp[key] != serial_twin.get(key))
+            violation = InvariantViolation(
+                WORKER_COUNT_EQUIVALENCE,
+                f"sharded engine with {spec.workers} workers diverges from the "
+                f"serial engine in: {', '.join(diverging)}",
+            )
+            return ScenarioResult(
+                spec=spec,
+                violation=violation,
+                fingerprint=fp,
+                checked=names + [WORKER_COUNT_EQUIVALENCE],
+            )
+        names = names + [WORKER_COUNT_EQUIVALENCE]
 
     if spec.transport != "direct" and spec.direct_equivalent:
         try:

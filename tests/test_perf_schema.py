@@ -1,8 +1,10 @@
 """Schema tests for the perf harness report (``benchmarks.perf``).
 
-These pin the v2 report contract: macro entries must report
+These pin the v3 report contract: macro entries must report
 ``setup_seconds`` separately from the timed cycle loops (cycles/sec
-measures cycles only) and declare how the eager phase was warmed, and the
+measures cycles only), declare how the eager phase was warmed, and carry
+the per-repeat rate samples behind the headline rate together with the
+statistic (median with >= 3 repeats, best otherwise) that produced it; the
 scale-smoke gate must return a complete, budget-checked timing breakdown.
 """
 
@@ -38,14 +40,20 @@ def _valid_report() -> dict:
             "100": {
                 "num_nodes": 100,
                 "lazy_cycles_per_sec": 20.0,
+                "lazy_rate_samples": [19.0, 20.0, 21.0],
                 "eager_cycles_per_sec": 90.0,
+                "eager_rate_samples": [88.0, 90.0, 92.0],
+                "rate_stat": "median",
                 "setup_seconds": 0.5,
                 "eager_warm": "ideal",
             },
             "10000": {
                 "num_nodes": 10000,
                 "lazy_cycles_per_sec": 0.2,
+                "lazy_rate_samples": [0.19, 0.2, 0.21],
                 "eager_cycles_per_sec": 2.0,
+                "eager_rate_samples": [1.9, 2.0, 2.1],
+                "rate_stat": "median",
                 "setup_seconds": 12.0,
                 "eager_warm": "lazy",
             },
@@ -53,12 +61,22 @@ def _valid_report() -> dict:
     }
 
 
-class TestValidateReportV2:
+class TestValidateReportV3:
     def test_valid_report_passes(self):
         assert validate_report(_valid_report()) == []
 
-    def test_schema_version_is_2(self):
-        assert SCHEMA_VERSION == 2
+    def test_schema_version_is_3(self):
+        assert SCHEMA_VERSION == 3
+
+    def test_missing_rate_stat_rejected(self):
+        report = _valid_report()
+        del report["macro"]["100"]["rate_stat"]
+        assert any("rate_stat" in p for p in validate_report(report))
+
+    def test_missing_rate_samples_rejected(self):
+        report = _valid_report()
+        report["macro"]["100"]["lazy_rate_samples"] = []
+        assert any("lazy_rate_samples" in p for p in validate_report(report))
 
     def test_old_schema_version_rejected(self):
         report = _valid_report()
@@ -154,6 +172,40 @@ class TestScaleSmoke:
             bench_scale_smoke(size=0)
         with pytest.raises(ValueError):
             bench_scale_smoke(size=10, budget_seconds=0)
+
+
+class TestMedianOfThree:
+    """The perf-guard flakiness fix: median-of-N headline plus spread."""
+
+    def test_three_repeats_report_the_median(self):
+        import statistics
+
+        macro = bench_macro(sizes=(30,), lazy_cycles=1, num_queries=2, repeats=3)
+        entry = macro["30"]
+        assert entry["rate_stat"] == "median"
+        assert len(entry["lazy_rate_samples"]) == 3
+        assert entry["lazy_cycles_per_sec"] == pytest.approx(
+            statistics.median(entry["lazy_rate_samples"])
+        )
+
+    def test_two_repeats_keep_best(self):
+        macro = bench_macro(sizes=(30,), lazy_cycles=1, num_queries=2, repeats=2)
+        entry = macro["30"]
+        assert entry["rate_stat"] == "best"
+        assert entry["lazy_cycles_per_sec"] == pytest.approx(
+            max(entry["lazy_rate_samples"])
+        )
+
+    def test_compare_failure_message_reports_spread(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["macro"]["100"]["lazy_cycles_per_sec"] = 10.0
+        current["macro"]["100"]["lazy_rate_samples"] = [9.0, 10.0, 11.0]
+        problems = compare_reports(current, baseline, max_regression=0.10)
+        assert problems
+        message = next(p for p in problems if "macro[100].lazy_cycles_per_sec" in p)
+        assert "spread 9.00..11.00" in message
+        # The baseline's spread rides along too.
+        assert "old median-of-3 spread 19.00..21.00" in message
 
 
 class TestCompareReports:
