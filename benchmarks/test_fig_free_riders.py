@@ -1,0 +1,28 @@
+"""Free-rider sweep: recall and bandwidth vs non-serving nodes (beyond paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import DEFAULT_FREE_RIDER_FRACTIONS, run_free_rider_sweep
+
+from conftest import run_once, save_report
+
+
+def test_fig_free_riders(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_free_rider_sweep,
+        scale,
+        fractions=DEFAULT_FREE_RIDER_FRACTIONS,
+        cycles=12,
+        workload=workload,
+    )
+    save_report(result.render())
+    # With no riders the sweep reproduces the direct-transport behaviour.
+    assert result.final_recall(0.0) > 0.99
+    # Riders only consume: a three-quarters-parasitic network cannot beat
+    # the honest one, and strands more queries below full recall.
+    assert result.final_recall(0.75) <= result.final_recall(0.0)
+    assert result.incomplete_queries[0.75] >= result.incomplete_queries[0.0]
+    # The protocol routes around riders rather than wedging: even at 75%
+    # parasitic nodes the majority of the reference answer is found.
+    assert result.final_recall(0.75) > 0.5

@@ -1,0 +1,30 @@
+"""Partition and heal: recall and bandwidth across a network split (beyond paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_partition_heal
+
+from conftest import run_once, save_report
+
+
+def test_fig_partition(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_partition_heal,
+        scale,
+        cycles=12,
+        workload=workload,
+    )
+    save_report(result.render())
+    # The healthy twin reproduces the direct-transport behaviour: recall
+    # converges to (almost) 1 over the eager horizon.
+    assert result.final_recall("healthy") > 0.99
+    # The cut actually intercepts traffic, and a partition during the eager
+    # phase can only hurt: a QueryResult dropped at the cut is permanent
+    # recall loss (partial results are never retried).
+    assert result.cut_drops > 0
+    assert result.final_recall("partitioned") <= result.final_recall("healthy")
+    # Recall stalls while the components are separated, then recovers after
+    # the heal: the final recall must improve on the mid-cut level.
+    series = result.recall_series["partitioned"]
+    assert series[-1] > series[result.partition.heal_cycle - 1]

@@ -369,6 +369,35 @@ class UserProfile:
         clone._shared = True
         return clone
 
+    def restore(self, snapshot: "UserProfile") -> None:
+        """Reset this profile *in place* to an earlier :meth:`copy` snapshot.
+
+        This is the crash-recovery path: a node that crashed and restarts
+        comes back with the state it had persisted before the crash, losing
+        whatever happened in between.  Restoring in place (rather than
+        swapping in the snapshot object) matters because the node, the
+        dataset and any number of replicas may all alias this very object;
+        after the restore they all observe the pre-crash state.  The
+        containers are adopted copy-on-write, exactly like :meth:`copy` --
+        the snapshot stays valid and either side materializes on its next
+        mutation.  The version moves *backwards*; that is safe because every
+        staleness check in the stack (`DigestCache`, replica freshness)
+        compares versions for inequality, never for ordering.
+        """
+        if snapshot.user_id != self.user_id:
+            raise ValueError(
+                f"cannot restore profile {self.user_id} from a snapshot of "
+                f"profile {snapshot.user_id}"
+            )
+        snapshot._shared = True
+        self._actions = snapshot._actions
+        self._action_ids = snapshot._action_ids
+        self._item_tags = snapshot._item_tags
+        self._tag_items = snapshot._tag_items
+        self._version = snapshot._version
+        self._cache = snapshot._cache
+        self._shared = True
+
 
 @dataclass
 class DatasetStats:

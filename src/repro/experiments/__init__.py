@@ -31,6 +31,13 @@ from .fig9_aur_eager import AurEagerResult, run_aur_eager
 from .fig10_network_update import NetworkUpdateResult, run_network_update
 from .fig11_churn import PAPER_DEPARTURES, ChurnResult, run_churn
 from .fig_loss import DEFAULT_LOSS_RATES, LossSweepResult, run_loss_sweep
+from .fig_adversarial import (
+    DEFAULT_FREE_RIDER_FRACTIONS,
+    FreeRiderSweepResult,
+    PartitionHealResult,
+    run_free_rider_sweep,
+    run_partition_heal,
+)
 from .analysis_alpha import AlphaAnalysisResult, run_alpha_analysis
 from .ablations import (
     ExchangeAblationResult,
@@ -49,8 +56,10 @@ __all__ = [
     "BandwidthResult",
     "ChurnResult",
     "ConvergenceResult",
+    "DEFAULT_FREE_RIDER_FRACTIONS",
     "DEFAULT_LOSS_RATES",
     "ExchangeAblationResult",
+    "FreeRiderSweepResult",
     "ExperimentRun",
     "ExperimentScale",
     "LossSweepResult",
@@ -58,6 +67,7 @@ __all__ = [
     "PAPER_ALPHAS",
     "PAPER_DEPARTURES",
     "PAPER_STORAGE_LEVELS",
+    "PartitionHealResult",
     "PreparedWorkload",
     "RandomViewAblationResult",
     "ReachResult",
@@ -81,7 +91,9 @@ __all__ = [
     "run_exchange_ablation",
     "run_experiment_by_name",
     "run_experiments_parallel",
+    "run_free_rider_sweep",
     "run_loss_sweep",
+    "run_partition_heal",
     "run_network_update",
     "run_query_bandwidth",
     "run_random_view_ablation",

@@ -34,7 +34,9 @@ from . import (
     run_churn,
     run_convergence,
     run_exchange_ablation,
+    run_free_rider_sweep,
     run_loss_sweep,
+    run_partition_heal,
     run_network_update,
     run_query_bandwidth,
     run_random_view_ablation,
@@ -113,6 +115,16 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Loss sweep: recall and bandwidth under per-message packet loss",
         True,
         lambda scale, w: run_loss_sweep(scale, cycles=12, workload=w),
+    ),
+    "fig-partition": (
+        "Partition and heal: recall and bandwidth across a network split",
+        True,
+        lambda scale, w: run_partition_heal(scale, cycles=12, workload=w),
+    ),
+    "fig-free-riders": (
+        "Free-rider sweep: recall and bandwidth vs fraction of non-serving nodes",
+        True,
+        lambda scale, w: run_free_rider_sweep(scale, cycles=12, workload=w),
     ),
     "analysis": (
         "Section 2.4: R(alpha) closed form and bounds",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional, Union
 
+from ..simulator.conditions import AsymmetrySpec, PartitionSpec, validate_fraction
 from ..simulator.transport import TRANSPORT_NAMES
 
 #: Storage budgets can be uniform (one int) or heterogeneous (per-user map).
@@ -56,6 +57,13 @@ class P3QConfig:
     loss_rate: float = 0.0
     #: Maximum per-exchange delay in cycles (latency transport).
     delay_cycles: int = 0
+    #: Network partition condition (``"conditioned"`` transport only).
+    partition: Optional[PartitionSpec] = None
+    #: Asymmetric-link / NAT condition (``"conditioned"`` transport only).
+    asymmetry: Optional[AsymmetrySpec] = None
+    #: Seeded fraction of nodes that gossip digests but never answer
+    #: common-items requests, profile requests or query forwards.
+    free_rider_fraction: float = 0.0
     #: Worker count of the sharded cycle engine.  ``1`` runs the serial
     #: reference engine; higher counts enable parallel per-shard exchange
     #: pricing, which is bit-identical to serial for any value (see
@@ -99,6 +107,22 @@ class P3QConfig:
             raise ValueError(
                 "transport 'lossy' ignores delay_cycles; use 'latency'"
             )
+        if self.partition is not None and not isinstance(self.partition, PartitionSpec):
+            raise TypeError(
+                f"partition must be a PartitionSpec or None, got {self.partition!r}"
+            )
+        if self.asymmetry is not None and not isinstance(self.asymmetry, AsymmetrySpec):
+            raise TypeError(
+                f"asymmetry must be an AsymmetrySpec or None, got {self.asymmetry!r}"
+            )
+        if self.transport != "conditioned" and (
+            self.partition is not None or self.asymmetry is not None
+        ):
+            raise ValueError(
+                f"transport {self.transport!r} ignores partition/asymmetry "
+                "conditions; use 'conditioned'"
+            )
+        validate_fraction("free_rider_fraction", self.free_rider_fraction)
         if self.workers < 1:
             raise ValueError("workers must be positive")
         if self.engine_executor not in ("auto", "inline", "fork"):
@@ -131,10 +155,17 @@ class P3QConfig:
         transport: str,
         loss_rate: float = 0.0,
         delay_cycles: int = 0,
+        partition: Optional[PartitionSpec] = None,
+        asymmetry: Optional[AsymmetrySpec] = None,
     ) -> "P3QConfig":
         """A copy of this config running under different network conditions."""
         return replace(
-            self, transport=transport, loss_rate=loss_rate, delay_cycles=delay_cycles
+            self,
+            transport=transport,
+            loss_rate=loss_rate,
+            delay_cycles=delay_cycles,
+            partition=partition,
+            asymmetry=asymmetry,
         )
 
     def with_workers(self, workers: int, engine_executor: str = "auto") -> "P3QConfig":

@@ -110,6 +110,13 @@ class P3QNode(Node):
         self.forwarded: Dict[int, ForwardedQueryState] = {}
         #: query_id -> profiles this node has already contributed to it.
         self._contributed: Dict[int, Set[int]] = {}
+        #: A free rider gossips digests like everyone else but never answers
+        #: common-items requests, profile requests or query forwards (set by
+        #: the simulation from the seeded free-rider sample).
+        self.free_rider = False
+        #: Pre-crash profile snapshot (crash-recovery churn); ``None`` while
+        #: the node is up or departed gracefully.
+        self._crash_snapshot: Optional[UserProfile] = None
 
     # ------------------------------------------------------------------ views
 
@@ -160,6 +167,31 @@ class P3QNode(Node):
     def bootstrap_random_view(self, digests: Sequence[ProfileDigest]) -> None:
         """Seed the random view (initial contact discovery)."""
         self.random_view.merge(digests, self._rng)
+
+    def snapshot_for_crash(self) -> None:
+        """Persist the current profile before a (simulated) crash.
+
+        Views and stored replicas survive in memory anyway -- the node object
+        is not torn down -- so the profile snapshot is all that is needed to
+        model "comes back with its pre-crash state".
+        """
+        self._crash_snapshot = self.profile.copy()
+
+    def restore_crash_snapshot(self) -> bool:
+        """Roll the profile back to the pre-crash snapshot; True if it moved.
+
+        Called on recovery.  When the profile changed while the node was
+        down (tag dynamics applied to the dataset reach the node's aliased
+        profile object), the node restarts with the *stale* pre-crash state
+        -- exercising the staleness paths of the digest cache and replica
+        freshness.  Without intervening changes this is a no-op, keeping
+        crash churn bit-identical to graceful churn in quiescent runs.
+        """
+        snapshot, self._crash_snapshot = self._crash_snapshot, None
+        if snapshot is None or snapshot.version == self.profile.version:
+            return False
+        self.profile.restore(snapshot)
+        return True
 
     def on_cycle(self, cycle: int, phase: str) -> None:
         if phase == PHASE_LAZY:
@@ -250,6 +282,10 @@ class P3QNode(Node):
 
     def _handle_common_items_request(self, envelope: Envelope) -> CommonItemsReply:
         message = envelope.message
+        if self.free_rider:
+            # Indistinguishable from "I no longer store that profile": the
+            # failure reply is free on the wire and the asker moves on.
+            return CommonItemsReply(subject_id=message.subject_id, actions=None)
         return CommonItemsReply(
             subject_id=message.subject_id,
             actions=self.action_ids_for_items_of(message.subject_id, message.items),
@@ -262,6 +298,8 @@ class P3QNode(Node):
 
     def _handle_full_profile_request(self, envelope: Envelope) -> FullProfilePush:
         message = envelope.message
+        if self.free_rider:
+            return FullProfilePush(subject_id=message.subject_id, profile=None)
         return FullProfilePush(
             subject_id=message.subject_id,
             profile=self.full_profile_of(message.subject_id),
@@ -277,6 +315,11 @@ class P3QNode(Node):
         """Handle an incoming eager gossip message (Algorithm 3, destination)."""
         message = envelope.message
         query = message.query
+        if self.free_rider:
+            # Hand the whole remaining list straight back: no contribution,
+            # no kept share, no partial result.  Protocol-legal (the sender
+            # merges the return like any alpha share) but pure dead weight.
+            return RemainingReturn(query_id=query.query_id, remaining=message.remaining)
         returned, kept = self.eager.process_at_destination(
             self, query, list(message.remaining), self.network, message.cycle
         )

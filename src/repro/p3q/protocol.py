@@ -27,6 +27,7 @@ from ..simulator.shard import (
     run_forked_shards,
 )
 from ..simulator.network import Network
+from ..simulator.rng import derive_rng
 from ..simulator.stats import KIND_REMAINING_FORWARD, StatsCollector
 from ..simulator.transport import make_transport
 from .config import P3QConfig
@@ -62,6 +63,8 @@ class P3QSimulation:
                 loss_rate=config.loss_rate,
                 delay_cycles=config.delay_cycles,
                 seed=config.seed,
+                partition=config.partition,
+                asymmetry=config.asymmetry,
             ),
         )
         # ``workers > 1`` runs the sharded engine (bit-identical to serial
@@ -112,6 +115,20 @@ class P3QSimulation:
             )
             self.nodes[node.node_id] = node
             self.network.add_node(node)
+        # Free riders: a seeded sample of the population that advertises
+        # digests like everyone else but never serves requests.  The sample
+        # comes from its own stream (independent of bootstrap/node streams),
+        # so a fraction of 0 -- or one that rounds to zero nodes -- leaves
+        # the run bit-identical to an unconditioned one.
+        self.free_rider_ids: frozenset = frozenset()
+        if config.free_rider_fraction > 0.0:
+            ids = sorted(self.nodes)
+            count = int(round(config.free_rider_fraction * len(ids)))
+            if count:
+                rider_rng = derive_rng(config.seed, "free-riders")
+                self.free_rider_ids = frozenset(rider_rng.sample(ids, count))
+                for uid in self.free_rider_ids:
+                    self.nodes[uid].free_rider = True
         self._bootstrap_rng = self.engine.rng_factory.for_purpose("bootstrap")
         self._eager_cycles_run = 0
 
@@ -342,6 +359,36 @@ class P3QSimulation:
 
     def rejoin_users(self, user_ids: Iterable[int]) -> None:
         self.network.rejoin(user_ids)
+
+    def crash_users(self, user_ids: Iterable[int]) -> None:
+        """Depart the given users, persisting their pre-crash profiles.
+
+        The graceful-churn twin of :meth:`depart_users`: on recovery
+        (:meth:`recover_users`) each node rolls its profile back to this
+        snapshot instead of rejoining with whatever the dataset holds now,
+        modelling a restart from state persisted before the crash.
+        """
+        ids = list(user_ids)
+        for uid in ids:
+            self.nodes[uid].snapshot_for_crash()
+        self.network.depart(ids)
+
+    def recover_users(self, user_ids: Iterable[int]) -> None:
+        """Bring crashed users back with their pre-crash profile snapshots.
+
+        A node whose profile moved while it was down (tag dynamics) is
+        restored to the stale snapshot and marked dirty, so the shared
+        digest cache evicts the superseded state at the next cycle boundary
+        -- the rejoined node never serves digest versions past the merge
+        barrier.  Nodes whose profiles did not move rejoin untouched,
+        keeping crash churn bit-identical to graceful churn in quiescent
+        runs.
+        """
+        ids = list(user_ids)
+        self.network.rejoin(ids)
+        restored = [uid for uid in ids if self.nodes[uid].restore_crash_snapshot()]
+        if restored:
+            self.network.mark_profiles_dirty(restored)
 
     # ---------------------------------------------------------------- metrics
 

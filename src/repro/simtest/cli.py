@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         "capped; the nightly batch runs uncapped and owns large-N coverage)",
     )
     parser.add_argument(
+        "--adversarial", action="store_true",
+        help="generate with the adversarial-weighted profile: partitions, "
+        "asymmetric links, free riders, crash churn and community churn are "
+        "sampled far more often (the nightly hostile-conditions batch)",
+    )
+    parser.add_argument(
         "--failure-artifact", type=Path, default=None, metavar="FILE",
         help="on failure, also write the minimal (shrunk) spec JSON to FILE "
         "so CI can upload it as a diagnosable artifact",
@@ -120,7 +126,7 @@ def _report_failure(result: ScenarioResult, args: argparse.Namespace) -> None:
 
 
 def _generator(args: argparse.Namespace) -> ScenarioGenerator:
-    ranges = GeneratorRanges()
+    ranges = GeneratorRanges.adversarial() if args.adversarial else GeneratorRanges()
     if args.max_users is not None:
         ranges = ranges.capped(args.max_users)
     return ScenarioGenerator(args.seed, ranges)

@@ -415,6 +415,109 @@ class QueryProgressChecker(InvariantChecker):
 
 
 @register
+class PartitionIsolationChecker(InvariantChecker):
+    """While a partition cut is active, no message crosses it.
+
+    The conditioned transport must drop (synchronous sends) or hold
+    (in-flight envelopes) everything whose endpoints sit in different
+    components between the split and heal cycles.  Any wire event that
+    reached a handler across the cut -- a delivered request / send / drain,
+    a delivered reply, or a request whose handler ran even though its reply
+    was then lost -- is a containment breach.
+    """
+
+    name = "partition-isolation"
+
+    @classmethod
+    def applies(cls, spec: "ScenarioSpec") -> bool:
+        return spec.partition is not None
+
+    def on_wire_event(self, event: WireEvent) -> None:
+        # REPLY_DROPPED still means the request leg crossed and was processed.
+        if event.status not in (DELIVERED, REPLY_DROPPED):
+            return
+        transport = self.ctx.simulation.network.transport
+        if not transport.partition_active():
+            return
+        sender_side = transport.partition_component(event.sender)
+        receiver_side = transport.partition_component(event.receiver)
+        if sender_side != receiver_side:
+            self.fail(
+                f"{event.op} of {type(event.message).__name__} from node "
+                f"{event.sender} (component {sender_side}) reached node "
+                f"{event.receiver} (component {receiver_side}) across an "
+                "active partition cut"
+            )
+
+
+@register
+class FreeRiderContainmentChecker(InvariantChecker):
+    """Free riders advertise digests but never serve anyone.
+
+    A free rider must not ship an accountable :class:`CommonItemsReply`, an
+    accountable :class:`FullProfilePush`, or any :class:`QueryResult`; and
+    when a query forward reaches one, the :class:`RemainingReturn` it hands
+    back must echo the *entire* forwarded list (no silent work claimed).
+    The protocol-legal failure forms (``actions=None`` / ``profile=None``)
+    are exactly what an honest node answers when it lacks the data, so the
+    rest of the stack needs no special-casing.
+    """
+
+    name = "free-rider-containment"
+
+    @classmethod
+    def applies(cls, spec: "ScenarioSpec") -> bool:
+        return spec.free_rider_fraction > 0.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (rider, query_id) -> remaining list last forwarded to that rider.
+        self._forwarded: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    def on_wire_event(self, event: WireEvent) -> None:
+        riders = self.ctx.simulation.free_rider_ids
+        if not riders:
+            return
+        message = event.message
+        mtype = type(message)
+        if mtype is QueryForward:
+            handler_ran = (
+                event.op == OP_REQUEST
+                and event.status in (DELIVERED, REPLY_DROPPED)
+            ) or (event.op == OP_DRAIN and event.status == DELIVERED)
+            if handler_ran and event.receiver in riders:
+                self._forwarded[(event.receiver, message.query.query_id)] = (
+                    message.remaining
+                )
+            return
+        if event.sender not in riders:
+            return
+        if mtype is CommonItemsReply and message.actions is not None:
+            self.fail(
+                f"free rider {event.sender} served a common-items reply "
+                f"for subject {message.subject_id}"
+            )
+        elif mtype is FullProfilePush and message.profile is not None:
+            self.fail(
+                f"free rider {event.sender} served a full profile "
+                f"of subject {message.subject_id}"
+            )
+        elif mtype is QueryResult:
+            self.fail(
+                f"free rider {event.sender} shipped a partial result "
+                f"for query {message.partial.query_id}"
+            )
+        elif mtype is RemainingReturn:
+            expected = self._forwarded.get((event.sender, message.query_id))
+            if expected is not None and tuple(message.remaining) != tuple(expected):
+                self.fail(
+                    f"free rider {event.sender} returned "
+                    f"{list(message.remaining)} for query {message.query_id} "
+                    f"instead of echoing the forwarded list {list(expected)}"
+                )
+
+
+@register
 class RecallConvergenceChecker(InvariantChecker):
     """Recall converges to the exact answer under the direct wire.
 

@@ -30,12 +30,12 @@ from typing import Dict, List, Optional, Sequence
 from ..data.dynamics import DynamicsConfig, ProfileDynamicsGenerator
 from ..data.models import ChangeDay, Dataset
 from ..data.queries import QueryWorkloadGenerator
-from ..data.synthetic import SyntheticConfig, generate_dataset
+from ..data.synthetic import SyntheticConfig, SyntheticTraceGenerator
 from ..p3q.config import P3QConfig
 from ..p3q.protocol import P3QSimulation
 from ..p3q.query import QuerySession
 from ..p3q.scoring import partial_scores
-from ..simulator.engine import PHASE_EAGER, PHASE_LAZY, ScheduledEvent, SimulationEngine
+from ..simulator.engine import PHASE_LAZY, ScheduledEvent, SimulationEngine
 from ..topk.exact import exact_top_k
 from .invariants import InvariantChecker, InvariantViolation, default_checkers
 from .spec import ScenarioSpec
@@ -82,7 +82,7 @@ class ScenarioResult:
 
 def build_simulation(spec: ScenarioSpec) -> P3QSimulation:
     """The live system a spec describes (dataset + configured P3Q stack)."""
-    dataset = generate_dataset(
+    generator = SyntheticTraceGenerator(
         SyntheticConfig(
             num_users=spec.num_users,
             num_items=spec.num_items,
@@ -92,6 +92,7 @@ def build_simulation(spec: ScenarioSpec) -> P3QSimulation:
             seed=spec.dataset_seed,
         )
     )
+    dataset = generator.generate()
     config = P3QConfig(
         network_size=spec.network_size,
         storage=spec.storage,
@@ -105,12 +106,26 @@ def build_simulation(spec: ScenarioSpec) -> P3QSimulation:
         transport=spec.transport,
         loss_rate=spec.loss_rate,
         delay_cycles=spec.delay_cycles,
+        partition=spec.partition,
+        asymmetry=spec.asymmetry,
+        free_rider_fraction=spec.free_rider_fraction,
         workers=spec.workers,
         # Fuzzing must exercise the real fork path even on one-core CI
         # runners, where "auto" would (correctly) fall back to inline.
         engine_executor="fork" if spec.workers > 1 else "auto",
     )
-    return P3QSimulation(dataset, config)
+    simulation = P3QSimulation(dataset, config)
+    # Ground-truth community membership, inverted for the correlated-churn
+    # scheduler (the generator caches the dataset; this costs no re-roll).
+    members: Dict[int, List[int]] = {}
+    if spec.community_churn:
+        for uid, communities in generator.community_memberships().items():
+            for community in communities:
+                members.setdefault(community, []).append(uid)
+    simulation.community_members = {
+        community: sorted(ids) for community, ids in members.items()
+    }
+    return simulation
 
 
 def _schedule_churn(spec: ScenarioSpec, simulation: P3QSimulation) -> None:
@@ -124,13 +139,20 @@ def _schedule_churn(spec: ScenarioSpec, simulation: P3QSimulation) -> None:
             if count <= 0:
                 return
             departing = rng.sample(online, k=count)
-            simulation.depart_users(departing)
+            crash = event.mode == "crash"
+            if crash:
+                simulation.crash_users(departing)
+            else:
+                simulation.depart_users(departing)
             if event.rejoin_after > 0:
+                rejoin = (
+                    simulation.recover_users if crash else simulation.rejoin_users
+                )
                 engine.schedule(
                     ScheduledEvent(
                         cycle=event.cycle + event.rejoin_after,
                         phase=event.phase,
-                        action=lambda _engine, ids=tuple(departing): simulation.rejoin_users(ids),
+                        action=lambda _engine, ids=tuple(departing): rejoin(ids),
                         description=f"rejoin {count} users",
                     )
                 )
@@ -141,6 +163,47 @@ def _schedule_churn(spec: ScenarioSpec, simulation: P3QSimulation) -> None:
                 phase=event.phase,
                 action=depart,
                 description=f"depart {event.fraction:.0%} of online users",
+            )
+        )
+
+
+def _schedule_community_churn(spec: ScenarioSpec, simulation: P3QSimulation) -> None:
+    """Install correlated (whole-community) churn into the event queue."""
+    for event in spec.community_churn:
+
+        def depart(engine: SimulationEngine, event=event) -> None:
+            members = simulation.community_members.get(event.community, [])
+            online = set(simulation.network.online_ids())
+            # Never empty the network: keep at least one node online.
+            departing = [uid for uid in members if uid in online]
+            if len(departing) >= len(online):
+                departing = departing[:-1]
+            if not departing:
+                return
+            crash = event.mode == "crash"
+            if crash:
+                simulation.crash_users(departing)
+            else:
+                simulation.depart_users(departing)
+            if event.rejoin_after > 0:
+                rejoin = (
+                    simulation.recover_users if crash else simulation.rejoin_users
+                )
+                engine.schedule(
+                    ScheduledEvent(
+                        cycle=event.cycle + event.rejoin_after,
+                        phase=event.phase,
+                        action=lambda _engine, ids=tuple(departing): rejoin(ids),
+                        description=f"rejoin community {event.community}",
+                    )
+                )
+
+        simulation.engine.schedule(
+            ScheduledEvent(
+                cycle=event.cycle,
+                phase=event.phase,
+                action=depart,
+                description=f"depart community {event.community}",
             )
         )
 
@@ -247,27 +310,22 @@ def _execute(spec: ScenarioSpec, checkers: Sequence[InvariantChecker]) -> Dict:
 
         simulation.network.transport.add_observer(observe)
 
-        current_phase = {"name": PHASE_LAZY}
-
-        def post_cycle(_engine: SimulationEngine, cycle: int) -> None:
+        # The engine stamps the phase of every cycle it runs; the hook reads
+        # it back instead of tracking phase state of its own.
+        def post_cycle(engine: SimulationEngine, cycle: int) -> None:
             for checker in checkers:
-                checker.on_cycle_end(current_phase["name"], cycle)
-    else:
-        current_phase = {"name": PHASE_LAZY}
-        post_cycle = None
+                checker.on_cycle_end(engine.current_phase, cycle)
 
-    if post_cycle is not None:
         simulation.engine.add_post_cycle_hook(post_cycle)
 
     _schedule_churn(spec, simulation)
+    _schedule_community_churn(spec, simulation)
     _schedule_dynamics(spec, simulation)
 
     simulation.bootstrap_random_views()
     simulation.run_lazy(spec.lazy_cycles)
 
     _issue_workload(spec, ctx)
-
-    current_phase["name"] = PHASE_EAGER
 
     def eager_callback(cycle: int, snapshots) -> None:
         for checker in checkers:
@@ -328,7 +386,12 @@ def run_scenario(
 
     if spec.transport != "direct" and spec.direct_equivalent:
         try:
-            twin = _execute(spec.but(transport="direct"), ())
+            # A direct-equivalent spec may still carry an all-zero asymmetry
+            # object; the direct transport rejects conditions outright, so
+            # the twin drops them (they impose nothing by definition here).
+            twin = _execute(
+                spec.but(transport="direct", partition=None, asymmetry=None), ()
+            )
         except Exception as error:  # noqa: BLE001
             violation = InvariantViolation(CRASH, f"direct twin crashed: {error}")
             return ScenarioResult(spec=spec, violation=violation, fingerprint=fp, checked=names)

@@ -36,6 +36,41 @@ def _drop_churn(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
     return spec.but(churn=()) if spec.churn else None
 
 
+def _drop_partition(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    return spec.but(partition=None) if spec.partition is not None else None
+
+
+def _drop_asymmetry(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    return spec.but(asymmetry=None) if spec.asymmetry is not None else None
+
+
+def _drop_free_riders(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    if spec.free_rider_fraction <= 0.0:
+        return None
+    return spec.but(free_rider_fraction=0.0)
+
+
+def _drop_community_churn(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    return spec.but(community_churn=()) if spec.community_churn else None
+
+
+def _resume_crashes(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    """Downgrade crash-recovery churn to plain resume churn."""
+    if not any(e.mode == "crash" for e in spec.churn) and not any(
+        e.mode == "crash" for e in spec.community_churn
+    ):
+        return None
+    return spec.but(
+        churn=tuple(
+            replace(e, mode="resume") if e.mode == "crash" else e for e in spec.churn
+        ),
+        community_churn=tuple(
+            replace(e, mode="resume") if e.mode == "crash" else e
+            for e in spec.community_churn
+        ),
+    )
+
+
 def _zero_loss(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
     return spec.but(loss_rate=0.0) if spec.loss_rate > 0 else None
 
@@ -47,7 +82,13 @@ def _zero_delay(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
 def _direct_transport(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
     if spec.transport == "direct":
         return None
-    return spec.but(transport="direct", loss_rate=0.0, delay_cycles=0)
+    return spec.but(
+        transport="direct",
+        loss_rate=0.0,
+        delay_cycles=0,
+        partition=None,
+        asymmetry=None,
+    )
 
 
 def _serial_engine(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
@@ -70,11 +111,27 @@ def _clamp_schedule(spec: ScenarioSpec, lazy: int, eager: int) -> ScenarioSpec:
         if event.rejoin_after and event.cycle + event.rejoin_after >= horizon:
             event = replace(event, rejoin_after=horizon - 1 - event.cycle)
         churn.append(event)
+    community_churn = []
+    for event in spec.community_churn:
+        horizon = lazy if event.phase == "lazy" else eager
+        if event.cycle >= horizon:
+            continue
+        if event.rejoin_after and event.cycle + event.rejoin_after >= horizon:
+            event = replace(event, rejoin_after=horizon - 1 - event.cycle)
+        community_churn.append(event)
     dynamics = spec.dynamics
     if dynamics is not None and dynamics.at_cycle >= lazy:
         dynamics = None
+    partition = spec.partition
+    if partition is not None and partition.split_cycle >= lazy + eager:
+        partition = None
     return spec.but(
-        lazy_cycles=lazy, eager_cycles=eager, churn=tuple(churn), dynamics=dynamics
+        lazy_cycles=lazy,
+        eager_cycles=eager,
+        churn=tuple(churn),
+        community_churn=tuple(community_churn),
+        dynamics=dynamics,
+        partition=partition,
     )
 
 
@@ -121,6 +178,11 @@ def _halve_network(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
 TRANSFORMS: List[Transform] = [
     ("drop dynamics", _drop_dynamics),
     ("drop churn", _drop_churn),
+    ("drop community churn", _drop_community_churn),
+    ("drop partition", _drop_partition),
+    ("drop asymmetry", _drop_asymmetry),
+    ("drop free riders", _drop_free_riders),
+    ("resume crashed nodes", _resume_crashes),
     ("zero loss rate", _zero_loss),
     ("zero delay", _zero_delay),
     ("direct transport", _direct_transport),

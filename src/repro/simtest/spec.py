@@ -30,8 +30,14 @@ import shlex
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
+from ..simulator.conditions import AsymmetrySpec, PartitionSpec, validate_fraction
 from ..simulator.engine import PHASE_EAGER, PHASE_LAZY
 from ..simulator.rng import derive_rng
+
+#: How a churn departure comes back: ``"resume"`` rejoins with whatever the
+#: dataset holds now (graceful restart); ``"crash"`` snapshots the profile at
+#: departure and restores it on rejoin (restart from pre-crash state).
+CHURN_MODES = ("resume", "crash")
 
 
 @dataclass(frozen=True)
@@ -51,6 +57,8 @@ class ChurnEvent:
     cycle: int
     fraction: float
     rejoin_after: int = 0
+    #: ``"resume"`` or ``"crash"`` (see :data:`CHURN_MODES`).
+    mode: str = "resume"
 
     def __post_init__(self) -> None:
         if self.phase not in (PHASE_LAZY, PHASE_EAGER):
@@ -61,6 +69,39 @@ class ChurnEvent:
             raise ValueError("fraction must be in (0, 0.5]")
         if self.rejoin_after < 0:
             raise ValueError("rejoin_after must be non-negative")
+        if self.mode not in CHURN_MODES:
+            raise ValueError(f"mode must be one of {CHURN_MODES}, got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class CommunityChurnEvent:
+    """Correlated churn: one whole synthetic community leaves together.
+
+    Every currently-online member of synthetic community ``community``
+    departs at phase-local cycle ``cycle``; with ``rejoin_after > 0`` the
+    departed members come back together that many cycles later.  ``mode``
+    follows :data:`CHURN_MODES` (``"crash"`` restores pre-crash profiles on
+    rejoin).  Community membership comes from the synthetic trace generator,
+    so the event is fully determined by the spec.
+    """
+
+    phase: str
+    cycle: int
+    community: int
+    rejoin_after: int = 0
+    mode: str = "resume"
+
+    def __post_init__(self) -> None:
+        if self.phase not in (PHASE_LAZY, PHASE_EAGER):
+            raise ValueError(f"phase must be lazy or eager, got {self.phase!r}")
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if self.community < 0:
+            raise ValueError("community must be non-negative")
+        if self.rejoin_after < 0:
+            raise ValueError("rejoin_after must be non-negative")
+        if self.mode not in CHURN_MODES:
+            raise ValueError(f"mode must be one of {CHURN_MODES}, got {self.mode!r}")
 
 
 @dataclass(frozen=True)
@@ -113,6 +154,12 @@ class ScenarioSpec:
     transport: str = "direct"
     loss_rate: float = 0.0
     delay_cycles: int = 0
+    #: Network partition condition (``"conditioned"`` transport only).
+    partition: Optional[PartitionSpec] = None
+    #: Asymmetric-link / NAT condition (``"conditioned"`` transport only).
+    asymmetry: Optional[AsymmetrySpec] = None
+    #: Seeded fraction of nodes that never answer requests or forwards.
+    free_rider_fraction: float = 0.0
 
     #: Worker count of the sharded cycle engine (1 = serial reference).  A
     #: spec with ``workers > 1`` runs the real fork executor and the runner
@@ -124,6 +171,7 @@ class ScenarioSpec:
     eager_cycles: int = 10
     num_queries: int = 6
     churn: Tuple[ChurnEvent, ...] = ()
+    community_churn: Tuple[CommunityChurnEvent, ...] = ()
     dynamics: Optional[DynamicsSpec] = None
 
     #: Root seed of every RNG stream inside the run.
@@ -151,8 +199,42 @@ class ScenarioSpec:
                     f"{event.cycle + event.rejoin_after} is outside the "
                     f"{limit}-cycle horizon (it would silently never fire)"
                 )
+        for event in self.community_churn:
+            limit = self.lazy_cycles if event.phase == PHASE_LAZY else self.eager_cycles
+            if event.cycle >= limit:
+                raise ValueError(
+                    f"community churn event at {event.phase} cycle {event.cycle} "
+                    f"is outside the {limit}-cycle horizon"
+                )
+            if event.rejoin_after and event.cycle + event.rejoin_after >= limit:
+                raise ValueError(
+                    f"community churn rejoin at {event.phase} cycle "
+                    f"{event.cycle + event.rejoin_after} is outside the "
+                    f"{limit}-cycle horizon (it would silently never fire)"
+                )
+            if event.community >= self.num_communities:
+                raise ValueError(
+                    f"community {event.community} does not exist "
+                    f"(the trace has {self.num_communities} communities)"
+                )
         if self.dynamics is not None and self.dynamics.at_cycle >= self.lazy_cycles:
             raise ValueError("dynamics.at_cycle is outside the lazy horizon")
+        if self.transport != "conditioned" and (
+            self.partition is not None or self.asymmetry is not None
+        ):
+            raise ValueError(
+                f"transport {self.transport!r} ignores partition/asymmetry "
+                "conditions; use 'conditioned'"
+            )
+        if (
+            self.partition is not None
+            and self.partition.split_cycle >= self.lazy_cycles + self.eager_cycles
+        ):
+            raise ValueError(
+                f"partition split at global cycle {self.partition.split_cycle} "
+                f"is outside the {self.lazy_cycles + self.eager_cycles}-cycle run"
+            )
+        validate_fraction("free_rider_fraction", self.free_rider_fraction)
         if self.workers < 1:
             raise ValueError("workers must be positive")
 
@@ -161,14 +243,20 @@ class ScenarioSpec:
     @property
     def direct_equivalent(self) -> bool:
         """True when the configured conditions degrade to the direct wire."""
-        return self.loss_rate == 0.0 and self.delay_cycles == 0
+        return (
+            self.loss_rate == 0.0
+            and self.delay_cycles == 0
+            and self.partition is None
+            and (self.asymmetry is None or self.asymmetry.is_null)
+            and self.free_rider_fraction == 0.0
+        )
 
     @property
     def quiescent(self) -> bool:
         """No churn and no profile dynamics: the steady-state setting under
         which the strongest invariants (full recall, exact convergence)
         apply."""
-        return not self.churn and self.dynamics is None
+        return not self.churn and not self.community_churn and self.dynamics is None
 
     def describe(self) -> str:
         """A one-line summary for progress output."""
@@ -186,8 +274,23 @@ class ScenarioSpec:
         parts.append(f"lazy={self.lazy_cycles}")
         parts.append(f"eager={self.eager_cycles}")
         parts.append(f"queries={self.num_queries}")
+        if self.partition is not None:
+            parts.append(
+                f"partition={self.partition.components}"
+                f"@{self.partition.split_cycle}..{self.partition.heal_cycle}"
+            )
+        if self.asymmetry is not None and not self.asymmetry.is_null:
+            parts.append("asymmetry")
+        if self.free_rider_fraction:
+            parts.append(f"freeriders={self.free_rider_fraction}")
         if self.churn:
             parts.append(f"churn={len(self.churn)}")
+        if self.community_churn:
+            parts.append(f"community-churn={len(self.community_churn)}")
+        if any(
+            event.mode == "crash" for event in self.churn + self.community_churn
+        ):
+            parts.append("crash")
         if self.dynamics is not None:
             parts.append("dynamics")
         if self.workers > 1:
@@ -199,6 +302,9 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         data["churn"] = [asdict(event) for event in self.churn]
+        data["community_churn"] = [asdict(event) for event in self.community_churn]
+        data["partition"] = None if self.partition is None else asdict(self.partition)
+        data["asymmetry"] = None if self.asymmetry is None else asdict(self.asymmetry)
         data["dynamics"] = None if self.dynamics is None else asdict(self.dynamics)
         return data
 
@@ -211,6 +317,14 @@ class ScenarioSpec:
         payload["churn"] = tuple(
             ChurnEvent(**event) for event in payload.get("churn", ())
         )
+        payload["community_churn"] = tuple(
+            CommunityChurnEvent(**event)
+            for event in payload.get("community_churn", ())
+        )
+        partition = payload.get("partition")
+        payload["partition"] = None if partition is None else PartitionSpec(**partition)
+        asymmetry = payload.get("asymmetry")
+        payload["asymmetry"] = None if asymmetry is None else AsymmetrySpec(**asymmetry)
         dynamics = payload.get("dynamics")
         payload["dynamics"] = None if dynamics is None else DynamicsSpec(**dynamics)
         return cls(**payload)
@@ -279,6 +393,46 @@ class GeneratorRanges:
     worker_choices: Tuple[int, ...] = (2, 4)
     p_workers: float = 0.2
 
+    #: Adversarial conditions, each drawn from its own independent seeded
+    #: stream (tuning one never perturbs another dimension or the main
+    #: scenario stream).  A partition or asymmetry draw upgrades the
+    #: transport to ``"conditioned"`` (composing with any sampled
+    #: loss/delay); ``p_zero_adversarial`` samples the conditioned transport
+    #: with *no* conditions at all, which the runner pins bit-identical to
+    #: the direct twin.
+    partition_components: Tuple[int, ...] = (2, 3)
+    p_partition: float = 0.12
+    degraded_fractions: Tuple[float, ...] = (0.2, 0.5)
+    link_loss_rates: Tuple[float, ...] = (0.3, 0.6, 1.0)
+    link_delay_choices: Tuple[int, ...] = (0, 1)
+    nat_fractions: Tuple[float, ...] = (0.0, 0.1, 0.2)
+    p_asymmetry: float = 0.12
+    free_rider_fractions: Tuple[float, ...] = (0.1, 0.25, 0.5)
+    p_free_riders: float = 0.12
+    #: Per churn event: probability the departure is a crash (profile
+    #: snapshot restored on rejoin) instead of a graceful resume.
+    p_crash: float = 0.4
+    p_community_churn: float = 0.1
+    p_zero_adversarial: float = 0.05
+
+    @classmethod
+    def adversarial(cls) -> "GeneratorRanges":
+        """The nightly ``--adversarial`` profile: fault rates turned up.
+
+        Same dimensions, heavier weights -- most scenarios carry at least
+        one adversarial condition, so a 50-seed batch exercises every
+        condition (and their compositions) many times over.
+        """
+        return cls(
+            p_churn=0.5,
+            p_partition=0.35,
+            p_asymmetry=0.3,
+            p_free_riders=0.3,
+            p_crash=0.6,
+            p_community_churn=0.25,
+            p_zero_adversarial=0.08,
+        )
+
     def capped(self, max_users: int) -> "GeneratorRanges":
         """A copy whose scenarios never exceed ``max_users`` users.
 
@@ -333,6 +487,23 @@ class ScenarioGenerator:
         churn = self._sample_churn(rng, lazy_cycles, eager_cycles)
         dynamics = self._sample_dynamics(rng, lazy_cycles)
 
+        # Remaining main-stream draws, in the historical order (hoisted out
+        # of the constructor call so the independent adversarial streams
+        # below can use ``num_communities`` without perturbing this stream).
+        num_items = num_users * rng.randint(5, 9)
+        num_communities = rng.randint(3, 6)
+        mean_actions_per_user = rng.randint(14, 30)
+        dataset_seed = rng.randrange(2**16)
+        storage = min(rng.randint(*r.storage), network_size)
+        random_view_size = rng.randint(*r.random_view)
+        k = rng.randint(*r.k)
+        alpha = rng.choice(r.alphas)
+        exchange_size = rng.randint(*r.exchange_size)
+        digest_bits = rng.choice((512, 1_024, 2_048))
+        digest_hashes = rng.randint(3, 6)
+        num_queries = rng.randint(*r.queries)
+        seed = rng.randrange(2**16)
+
         # Worker-count dimension from an independent stream (same pattern as
         # the large-N override: the main scenario stream is untouched).
         workers = 1
@@ -341,33 +512,52 @@ class ScenarioGenerator:
             if worker_rng.random() < r.p_workers:
                 workers = worker_rng.choice(r.worker_choices)
 
+        # Adversarial dimensions, one independent stream each.
+        partition = self._sample_partition(index, lazy_cycles + eager_cycles)
+        asymmetry = self._sample_asymmetry(index)
+        free_rider_fraction = self._sample_free_riders(index)
+        churn = self._sample_crash_modes(index, churn)
+        community_churn = self._sample_community_churn(
+            index, lazy_cycles, eager_cycles, num_communities
+        )
+        if partition is not None or asymmetry is not None:
+            transport = "conditioned"
+        elif self._sample_zero_adversarial(index):
+            # Conditioned transport with no conditions at all: the runner
+            # pins its fingerprint bit-identical to the direct twin.
+            transport, loss_rate, delay_cycles = ("conditioned", 0.0, 0)
+
         return ScenarioSpec(
             master_seed=self.master_seed,
             index=index,
             num_users=num_users,
-            num_items=num_users * rng.randint(5, 9),
+            num_items=num_items,
             num_tags=num_users * 2,
-            num_communities=rng.randint(3, 6),
-            mean_actions_per_user=rng.randint(14, 30),
-            dataset_seed=rng.randrange(2**16),
+            num_communities=num_communities,
+            mean_actions_per_user=mean_actions_per_user,
+            dataset_seed=dataset_seed,
             network_size=network_size,
-            storage=min(rng.randint(*r.storage), network_size),
-            random_view_size=rng.randint(*r.random_view),
-            k=rng.randint(*r.k),
-            alpha=rng.choice(r.alphas),
-            exchange_size=rng.randint(*r.exchange_size),
-            digest_bits=rng.choice((512, 1_024, 2_048)),
-            digest_hashes=rng.randint(3, 6),
+            storage=storage,
+            random_view_size=random_view_size,
+            k=k,
+            alpha=alpha,
+            exchange_size=exchange_size,
+            digest_bits=digest_bits,
+            digest_hashes=digest_hashes,
             transport=transport,
             loss_rate=loss_rate,
             delay_cycles=delay_cycles,
+            partition=partition,
+            asymmetry=asymmetry,
+            free_rider_fraction=free_rider_fraction,
             workers=workers,
             lazy_cycles=lazy_cycles,
             eager_cycles=eager_cycles,
-            num_queries=rng.randint(*r.queries),
+            num_queries=num_queries,
             churn=churn,
+            community_churn=community_churn,
             dynamics=dynamics,
-            seed=rng.randrange(2**16),
+            seed=seed,
         )
 
     def specs(self, count: int, start: int = 0):
@@ -424,6 +614,94 @@ class ScenarioGenerator:
                 seen.add(key)
                 unique.append(event)
         return tuple(unique)
+
+    def _sample_partition(self, index: int, total_cycles: int) -> Optional[PartitionSpec]:
+        r = self.ranges
+        if r.p_partition <= 0.0 or total_cycles < 2:
+            return None
+        rng = derive_rng(self.master_seed, "simtest", "partition", index)
+        if rng.random() >= r.p_partition:
+            return None
+        split = rng.randint(0, total_cycles - 2)
+        # The heal cycle may land on (or beyond) the final cycle, in which
+        # case the cut simply persists to the end of the run.
+        heal = rng.randint(split + 1, total_cycles)
+        return PartitionSpec(
+            components=rng.choice(r.partition_components),
+            split_cycle=split,
+            heal_cycle=heal,
+        )
+
+    def _sample_asymmetry(self, index: int) -> Optional[AsymmetrySpec]:
+        r = self.ranges
+        if r.p_asymmetry <= 0.0:
+            return None
+        rng = derive_rng(self.master_seed, "simtest", "asymmetry", index)
+        if rng.random() >= r.p_asymmetry:
+            return None
+        return AsymmetrySpec(
+            degraded_fraction=rng.choice(r.degraded_fractions),
+            link_loss_rate=rng.choice(r.link_loss_rates),
+            link_delay_cycles=rng.choice(r.link_delay_choices),
+            nat_fraction=rng.choice(r.nat_fractions),
+        )
+
+    def _sample_free_riders(self, index: int) -> float:
+        r = self.ranges
+        if r.p_free_riders <= 0.0:
+            return 0.0
+        rng = derive_rng(self.master_seed, "simtest", "freeriders", index)
+        if rng.random() >= r.p_free_riders:
+            return 0.0
+        return rng.choice(r.free_rider_fractions)
+
+    def _sample_crash_modes(
+        self, index: int, churn: Tuple[ChurnEvent, ...]
+    ) -> Tuple[ChurnEvent, ...]:
+        r = self.ranges
+        if not churn or r.p_crash <= 0.0:
+            return churn
+        rng = derive_rng(self.master_seed, "simtest", "crash", index)
+        return tuple(
+            replace(event, mode="crash") if rng.random() < r.p_crash else event
+            for event in churn
+        )
+
+    def _sample_community_churn(
+        self, index: int, lazy_cycles: int, eager_cycles: int, num_communities: int
+    ) -> Tuple[CommunityChurnEvent, ...]:
+        r = self.ranges
+        if r.p_community_churn <= 0.0:
+            return ()
+        rng = derive_rng(self.master_seed, "simtest", "community", index)
+        if rng.random() >= r.p_community_churn:
+            return ()
+        phase = rng.choice((PHASE_LAZY, PHASE_EAGER))
+        horizon = lazy_cycles if phase == PHASE_LAZY else eager_cycles
+        cycle = rng.randint(1, max(1, horizon - 1))
+        if cycle >= horizon:
+            return ()
+        rejoin_after = 0
+        latest_rejoin = horizon - 1 - cycle
+        if latest_rejoin >= 1 and rng.random() < r.p_rejoin:
+            rejoin_after = rng.randint(1, latest_rejoin)
+        mode = "crash" if rng.random() < r.p_crash else "resume"
+        return (
+            CommunityChurnEvent(
+                phase=phase,
+                cycle=cycle,
+                community=rng.randrange(num_communities),
+                rejoin_after=rejoin_after,
+                mode=mode,
+            ),
+        )
+
+    def _sample_zero_adversarial(self, index: int) -> bool:
+        r = self.ranges
+        if r.p_zero_adversarial <= 0.0:
+            return False
+        rng = derive_rng(self.master_seed, "simtest", "zero-adversarial", index)
+        return rng.random() < r.p_zero_adversarial
 
     def _sample_dynamics(self, rng: random.Random, lazy_cycles: int) -> Optional[DynamicsSpec]:
         if rng.random() >= self.ranges.p_dynamics:

@@ -78,6 +78,10 @@ class SimulationEngine:
         self._post_hooks: List[CycleHook] = []
         #: Global cycle counter across all phases, used for traffic accounting.
         self.global_cycle = 0
+        #: Phase of the cycle currently (or most recently) running; observers
+        #: (e.g. simtest invariant checkers) read it instead of threading the
+        #: phase through every callback.
+        self.current_phase: Optional[str] = None
 
     # -- configuration --------------------------------------------------------
 
@@ -114,6 +118,7 @@ class SimulationEngine:
         online node acts.
         """
         cycle_index = self.cycle_counts.get(phase, 0)
+        self.current_phase = phase
         self.network.current_cycle = self.global_cycle
 
         for event in self._events.pop((phase, cycle_index), ()):

@@ -369,13 +369,34 @@ class Transport:
         for observer in self._observers:
             observer(event)
 
-    # -- condition hooks (overridden by lossy/latency transports) -------------
+    # -- condition hooks (overridden by lossy/latency/conditioned transports) --
+    #
+    # All hooks receive the (sender, receiver) pair so that conditions can be
+    # link-local (asymmetric links, partition cuts) as well as global.
 
-    def _roll_drop(self, message: Message) -> bool:
+    def _roll_drop(self, message: Message, sender: int, receiver: int) -> bool:
         return False
 
-    def _roll_delay(self, message: Message) -> int:
+    def _roll_delay(self, message: Message, sender: int, receiver: int) -> int:
         return 0
+
+    def _inbound_blocked(self, sender: int, receiver: int) -> bool:
+        """True when the receiver cannot accept *inbound* connections (NAT).
+
+        Checked before accounting: like contacting an offline node, the
+        connection never opens, so no bytes are charged.
+        """
+        return False
+
+    def _drain_blocked(self, envelope: Envelope) -> Optional[int]:
+        """Cycles to re-queue a due envelope for, or ``None`` to deliver now.
+
+        A conditioned transport holds an in-flight envelope whose endpoints
+        sit on opposite sides of an active partition cut until the heal
+        cycle: the bytes were spent at send time, so delivery resumes once
+        the cut heals rather than being silently lost.
+        """
+        return None
 
     # -- sending --------------------------------------------------------------
 
@@ -394,17 +415,17 @@ class Transport:
         """
         node = self._network.try_contact(receiver)
         handler = getattr(node, "handle_message", None)
-        if handler is None:
+        if handler is None or self._inbound_blocked(sender, receiver):
             if self._observers:
                 self._notify(OP_REQUEST, sender, receiver, message, UNREACHABLE, False, query_id)
             return _UNREACHABLE_DISPATCH
         if account:
             self._account(sender, receiver, message, query_id)
-        if self._roll_drop(message):
+        if self._roll_drop(message, sender, receiver):
             if self._observers:
                 self._notify(OP_REQUEST, sender, receiver, message, DROPPED, account, query_id)
             return _DROPPED_DISPATCH
-        delay = self._roll_delay(message)
+        delay = self._roll_delay(message, sender, receiver)
         if delay > 0:
             self._enqueue(Envelope(sender, receiver, message, query_id, True, account), delay)
             if self._observers:
@@ -417,7 +438,7 @@ class Transport:
             return _DELIVERED_SILENT_DISPATCH
         if account:
             self._account(receiver, sender, reply, query_id)
-        if self._roll_drop(reply):
+        if self._roll_drop(reply, receiver, sender):
             # The receiver DID process the request; only its answer is lost.
             # Distinguished from DROPPED so callers do not retry work the
             # other side already performed.
@@ -441,17 +462,17 @@ class Transport:
         """One-way, fire-and-forget send; returns the dispatch status."""
         node = self._network.try_contact(receiver)
         handler = getattr(node, "handle_message", None)
-        if handler is None:
+        if handler is None or self._inbound_blocked(sender, receiver):
             if self._observers:
                 self._notify(OP_SEND, sender, receiver, message, UNREACHABLE, False, query_id)
             return UNREACHABLE
         if account:
             self._account(sender, receiver, message, query_id)
-        if self._roll_drop(message):
+        if self._roll_drop(message, sender, receiver):
             if self._observers:
                 self._notify(OP_SEND, sender, receiver, message, DROPPED, account, query_id)
             return DROPPED
-        delay = self._roll_delay(message)
+        delay = self._roll_delay(message, sender, receiver)
         if delay > 0:
             self._enqueue(Envelope(sender, receiver, message, query_id, False, account), delay)
             if self._observers:
@@ -496,6 +517,23 @@ class Transport:
                             envelope.receiver,
                             envelope.message,
                             LOST,
+                            False,
+                            envelope.query_id,
+                        )
+                    continue
+                hold = self._drain_blocked(envelope)
+                if hold is not None and hold > 0:
+                    # An active partition cut: the envelope stays in flight
+                    # (its bytes were spent once, at send time) and becomes
+                    # due again when the condition lifts.
+                    self._queue.setdefault(now + hold, []).append(envelope)
+                    if self._observers:
+                        self._notify(
+                            OP_DRAIN,
+                            envelope.sender,
+                            envelope.receiver,
+                            envelope.message,
+                            DEFERRED,
                             False,
                             envelope.query_id,
                         )
@@ -636,7 +674,7 @@ class LossyTransport(Transport):
         self.loss_rate = _validate_loss_rate(loss_rate)
         self._drop_rng = random.Random(f"{seed}/transport/loss")
 
-    def _roll_drop(self, message: Message) -> bool:
+    def _roll_drop(self, message: Message, sender: int, receiver: int) -> bool:
         if self.loss_rate <= 0.0:
             return False
         return self._drop_rng.random() < self.loss_rate
@@ -663,14 +701,14 @@ class LatencyTransport(LossyTransport):
         self.delay_cycles = _validate_delay_cycles(delay_cycles)
         self._delay_rng = random.Random(f"{seed}/transport/delay")
 
-    def _roll_delay(self, message: Message) -> int:
+    def _roll_delay(self, message: Message, sender: int, receiver: int) -> int:
         if self.delay_cycles <= 0 or not message.DEFERRABLE:
             return 0
         return self._delay_rng.randint(0, self.delay_cycles)
 
 
 #: Transport names accepted by :func:`make_transport` / ``P3QConfig.transport``.
-TRANSPORT_NAMES = ("direct", "lossy", "latency")
+TRANSPORT_NAMES = ("direct", "lossy", "latency", "conditioned")
 
 
 def _validate_loss_rate(loss_rate: float) -> float:
@@ -706,15 +744,22 @@ def make_transport(
     loss_rate: float = 0.0,
     delay_cycles: int = 0,
     seed: int = 0,
+    partition=None,
+    asymmetry=None,
 ) -> Transport:
     """Build a transport from configuration values.
 
     Network-condition parameters that the named transport would silently
-    ignore (a loss rate on ``direct``, a delay on ``lossy``) are rejected:
-    a config carrying them describes a run the transport will not perform.
+    ignore (a loss rate on ``direct``, a delay on ``lossy``, a partition on
+    anything but ``conditioned``) are rejected: a config carrying them
+    describes a run the transport will not perform.
     """
     _validate_loss_rate(loss_rate)
     _validate_delay_cycles(delay_cycles)
+    if name != "conditioned" and (partition is not None or asymmetry is not None):
+        raise ValueError(
+            f"partition/asymmetry conditions require the 'conditioned' transport; got {name!r}"
+        )
     if name == "direct":
         if loss_rate or delay_cycles:
             raise ValueError(
@@ -732,4 +777,15 @@ def make_transport(
         return LossyTransport(loss_rate, seed=seed)
     if name == "latency":
         return LatencyTransport(delay_cycles, seed=seed, loss_rate=loss_rate)
+    if name == "conditioned":
+        # Imported here: the conditions module builds on this one.
+        from .conditions import ConditionedTransport
+
+        return ConditionedTransport(
+            seed=seed,
+            loss_rate=loss_rate,
+            delay_cycles=delay_cycles,
+            partition=partition,
+            asymmetry=asymmetry,
+        )
     raise ValueError(f"unknown transport {name!r} (expected one of {TRANSPORT_NAMES})")

@@ -1,0 +1,361 @@
+"""Unit tests for the adversarial network conditions.
+
+Covers the hardened constructors (:class:`PartitionSpec`,
+:class:`AsymmetrySpec`, :class:`ConditionedTransport`, the ``P3QConfig``
+fields riding them), the partition-cut semantics at the transport level
+(accounted drops, held in-flight envelopes, balanced seeded components) and
+the asymmetric-link semantics (per-direction degradation, NAT inbound
+blocks, extra loss/delay on degraded links).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.p3q.config import P3QConfig
+from repro.p3q.node import P3QNode
+from repro.simulator.conditions import (
+    AsymmetrySpec,
+    ConditionedTransport,
+    PartitionSpec,
+    validate_fraction,
+)
+from repro.simulator.network import Network
+from repro.simulator.transport import (
+    DEFERRED,
+    DELIVERED,
+    DROPPED,
+    UNREACHABLE,
+    VIEW_RANDOM,
+    CommonItemsRequest,
+    DigestAdvertisement,
+    Envelope,
+    make_transport,
+)
+
+
+def _wire(transport, tiny_dataset):
+    """A network of P3Q nodes over ``transport``; returns (network, nodes)."""
+    config = P3QConfig(
+        network_size=4,
+        storage=2,
+        random_view_size=3,
+        digest_bits=1_024,
+        digest_hashes=4,
+        seed=3,
+    )
+    network = Network(transport=transport)
+    nodes = {}
+    for profile in tiny_dataset.profiles():
+        node = P3QNode(profile, config)
+        nodes[node.node_id] = node
+        network.add_node(node)
+    return network, nodes
+
+
+def _digest_ad(node):
+    return DigestAdvertisement(digests=(node.own_digest(),), view=VIEW_RANDOM)
+
+
+def _cross_pair(transport, nodes):
+    """A (sender, receiver) pair on opposite sides of the partition."""
+    ids = sorted(nodes)
+    for sender in ids:
+        for receiver in ids:
+            if sender != receiver and transport.partition_component(
+                sender
+            ) != transport.partition_component(receiver):
+                return sender, receiver
+    raise AssertionError("no cross-component pair found")
+
+
+def _same_pair(transport, nodes):
+    ids = sorted(nodes)
+    for sender in ids:
+        for receiver in ids:
+            if sender != receiver and transport.partition_component(
+                sender
+            ) == transport.partition_component(receiver):
+                return sender, receiver
+    raise AssertionError("no same-component pair found")
+
+
+# ----------------------------------------------------------------- validation
+
+
+class TestValidateFraction:
+    def test_accepts_boundaries(self):
+        assert validate_fraction("f", 0) == 0.0
+        assert validate_fraction("f", 1) == 1.0
+        assert validate_fraction("f", 0.25) == 0.25
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="must be in \\[0, 1\\]"):
+            validate_fraction("f", bad)
+
+    @pytest.mark.parametrize("bad", [True, None, "0.5"])
+    def test_rejects_non_numbers(self, bad):
+        with pytest.raises(TypeError, match="must be a number"):
+            validate_fraction("f", bad)
+
+
+class TestPartitionSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = PartitionSpec()
+        assert spec.components == 2 and spec.heal_cycle > spec.split_cycle
+
+    def test_rejects_single_component(self):
+        with pytest.raises(ValueError, match="components must be >= 2"):
+            PartitionSpec(components=1)
+
+    def test_rejects_bool_components(self):
+        with pytest.raises(TypeError, match="components must be an int"):
+            PartitionSpec(components=True)
+
+    def test_rejects_negative_split(self):
+        with pytest.raises(ValueError, match="split_cycle must be >= 0"):
+            PartitionSpec(split_cycle=-1, heal_cycle=2)
+
+    @pytest.mark.parametrize("split,heal", [(3, 3), (3, 2), (5, 0)])
+    def test_rejects_heal_before_split(self, split, heal):
+        with pytest.raises(ValueError, match="heal_cycle must come strictly after"):
+            PartitionSpec(split_cycle=split, heal_cycle=heal)
+
+
+class TestAsymmetrySpecValidation:
+    def test_null_spec(self):
+        assert AsymmetrySpec().is_null
+        assert not AsymmetrySpec(nat_fraction=0.1).is_null
+        assert not AsymmetrySpec(degraded_fraction=0.5, link_loss_rate=0.1).is_null
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"degraded_fraction": -0.5},
+            {"degraded_fraction": 2.0},
+            {"link_loss_rate": 1.5},
+            {"nat_fraction": float("nan")},
+        ],
+    )
+    def test_rejects_bad_fractions(self, kwargs):
+        with pytest.raises(ValueError):
+            AsymmetrySpec(**kwargs)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay_cycles must be non-negative"):
+            AsymmetrySpec(link_delay_cycles=-1)
+
+    def test_rejects_float_delay(self):
+        with pytest.raises(TypeError, match="delay_cycles must be an int"):
+            AsymmetrySpec(link_delay_cycles=1.0)
+
+
+class TestConstructorHardening:
+    def test_conditioned_transport_rejects_wrong_spec_types(self):
+        with pytest.raises(TypeError, match="partition must be a PartitionSpec"):
+            ConditionedTransport(partition=(0, 5))
+        with pytest.raises(TypeError, match="asymmetry must be an AsymmetrySpec"):
+            ConditionedTransport(asymmetry={"nat_fraction": 0.1})
+
+    def test_make_transport_rejects_conditions_elsewhere(self):
+        for name in ("direct", "lossy", "latency"):
+            with pytest.raises(ValueError, match="require the 'conditioned' transport"):
+                make_transport(name, partition=PartitionSpec())
+            with pytest.raises(ValueError, match="require the 'conditioned' transport"):
+                make_transport(name, asymmetry=AsymmetrySpec(nat_fraction=0.1))
+
+    def test_make_transport_builds_conditioned(self):
+        transport = make_transport(
+            "conditioned",
+            loss_rate=0.1,
+            delay_cycles=1,
+            seed=9,
+            partition=PartitionSpec(split_cycle=1, heal_cycle=2),
+            asymmetry=AsymmetrySpec(nat_fraction=0.1),
+        )
+        assert isinstance(transport, ConditionedTransport)
+        assert transport.name == "conditioned"
+
+    def test_config_rejects_conditions_on_other_transports(self):
+        with pytest.raises(ValueError, match="ignores partition/asymmetry"):
+            P3QConfig(network_size=4, storage=2, partition=PartitionSpec())
+        with pytest.raises(ValueError, match="ignores partition/asymmetry"):
+            P3QConfig(
+                network_size=4,
+                storage=2,
+                transport="lossy",
+                loss_rate=0.1,
+                asymmetry=AsymmetrySpec(),
+            )
+
+    def test_config_rejects_wrong_spec_types(self):
+        with pytest.raises(TypeError, match="partition must be a PartitionSpec"):
+            P3QConfig(network_size=4, storage=2, transport="conditioned", partition=3)
+        with pytest.raises(TypeError, match="asymmetry must be an AsymmetrySpec"):
+            P3QConfig(network_size=4, storage=2, transport="conditioned", asymmetry=0.2)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_config_rejects_bad_free_rider_fraction(self, bad):
+        with pytest.raises(ValueError, match="free_rider_fraction"):
+            P3QConfig(network_size=4, storage=2, free_rider_fraction=bad)
+
+    def test_config_rejects_bool_free_rider_fraction(self):
+        with pytest.raises(TypeError, match="free_rider_fraction"):
+            P3QConfig(network_size=4, storage=2, free_rider_fraction=True)
+
+    def test_config_accepts_conditions_on_conditioned(self):
+        config = P3QConfig(
+            network_size=4,
+            storage=2,
+            transport="conditioned",
+            partition=PartitionSpec(split_cycle=0, heal_cycle=3),
+            asymmetry=AsymmetrySpec(nat_fraction=0.2),
+            free_rider_fraction=0.25,
+        )
+        assert config.partition.heal_cycle == 3
+
+
+# ------------------------------------------------------------------ partition
+
+
+class TestPartitionTransport:
+    def _transport(self, split=1, heal=4, components=2, seed=7):
+        return ConditionedTransport(
+            seed=seed,
+            partition=PartitionSpec(
+                components=components, split_cycle=split, heal_cycle=heal
+            ),
+        )
+
+    def test_components_are_balanced_and_deterministic(self, tiny_dataset):
+        transport = self._transport()
+        _wire(transport, tiny_dataset)
+        assignment = {uid: transport.partition_component(uid) for uid in range(5)}
+        sizes = sorted(
+            list(assignment.values()).count(c) for c in set(assignment.values())
+        )
+        assert sizes == [2, 3]
+        twin = self._transport()
+        _wire(twin, tiny_dataset)
+        assert assignment == {uid: twin.partition_component(uid) for uid in range(5)}
+
+    def test_cut_drops_are_accounted(self, tiny_dataset):
+        transport = self._transport()
+        network, nodes = _wire(transport, tiny_dataset)
+        sender, receiver = _cross_pair(transport, nodes)
+        network.current_cycle = 2  # inside [split, heal)
+        dispatch = transport.request(sender, receiver, _digest_ad(nodes[sender]))
+        assert dispatch.status == DROPPED
+        assert transport.cut_drops == 1
+        # Accounted like a lossy drop: the sender paid for the attempt.
+        assert network.stats.total_bytes() > 0
+
+    def test_same_component_delivery_during_cut(self, tiny_dataset):
+        transport = self._transport()
+        network, nodes = _wire(transport, tiny_dataset)
+        sender, receiver = _same_pair(transport, nodes)
+        network.current_cycle = 2
+        dispatch = transport.request(sender, receiver, _digest_ad(nodes[sender]))
+        assert dispatch.status == DELIVERED
+
+    @pytest.mark.parametrize("cycle", [0, 4, 9])
+    def test_cut_is_inactive_outside_the_window(self, tiny_dataset, cycle):
+        transport = self._transport(split=1, heal=4)
+        network, nodes = _wire(transport, tiny_dataset)
+        sender, receiver = _cross_pair(transport, nodes)
+        network.current_cycle = cycle
+        assert not transport.partition_active()
+        dispatch = transport.request(sender, receiver, _digest_ad(nodes[sender]))
+        assert dispatch.status == DELIVERED
+        assert transport.cut_drops == 0
+
+    def test_in_flight_envelope_is_held_until_heal(self, tiny_dataset):
+        transport = self._transport(split=1, heal=4)
+        network, nodes = _wire(transport, tiny_dataset)
+        sender, receiver = _cross_pair(transport, nodes)
+        events = []
+        transport.add_observer(events.append)
+        # Sent before the split, due while the cut is up.
+        envelope = Envelope(sender, receiver, _digest_ad(nodes[sender]), None, False, False)
+        network.current_cycle = 0
+        transport._enqueue(envelope, 2)
+        network.current_cycle = 2
+        assert transport.drain() == 0
+        assert transport.pending_count() == 1
+        assert events[-1].status == DEFERRED and not events[-1].accounted
+        # At the heal cycle the held envelope finally goes through.
+        network.current_cycle = 4
+        assert transport.drain() == 1
+        assert transport.pending_count() == 0
+        assert events[-1].status == DELIVERED
+
+
+# ------------------------------------------------------------------ asymmetry
+
+
+class TestAsymmetricLinks:
+    def test_nat_nodes_are_unreachable_inbound_only(self, tiny_dataset):
+        transport = ConditionedTransport(
+            seed=5, asymmetry=AsymmetrySpec(nat_fraction=0.4)
+        )
+        network, nodes = _wire(transport, tiny_dataset)
+        nat = transport.nat_ids()
+        assert len(nat) == 2  # round(0.4 * 5)
+        nat_node = min(nat)
+        open_node = min(set(nodes) - nat)
+        before = network.stats.total_bytes()
+        assert (
+            transport.request(open_node, nat_node, _digest_ad(nodes[open_node])).status
+            == UNREACHABLE
+        )
+        # The connection never opened: nothing was charged.
+        assert network.stats.total_bytes() == before
+        # Outbound traffic of a NAT node flows normally.
+        assert (
+            transport.request(nat_node, open_node, _digest_ad(nodes[nat_node])).status
+            == DELIVERED
+        )
+
+    def test_zero_nat_fraction_samples_nothing(self, tiny_dataset):
+        transport = ConditionedTransport(seed=5, asymmetry=AsymmetrySpec())
+        _wire(transport, tiny_dataset)
+        assert transport.nat_ids() == frozenset()
+
+    def test_degraded_links_are_per_direction_and_order_independent(self, tiny_dataset):
+        spec = AsymmetrySpec(degraded_fraction=0.5, link_loss_rate=1.0)
+        first = ConditionedTransport(seed=11, asymmetry=spec)
+        second = ConditionedTransport(seed=11, asymmetry=spec)
+        _wire(first, tiny_dataset)
+        _wire(second, tiny_dataset)
+        pairs = [(a, b) for a in range(5) for b in range(5) if a != b]
+        forward = {pair: first._link_degraded(*pair) for pair in pairs}
+        # Same seed, reversed first-touch order: identical decisions.
+        reverse = {pair: second._link_degraded(*pair) for pair in reversed(pairs)}
+        assert forward == reverse
+        assert any(forward.values()) and not all(forward.values())
+        # Per direction: at least one pair differs from its mirror.
+        assert any(
+            forward[(a, b)] != forward[(b, a)] for a, b in pairs if (b, a) in forward
+        )
+
+    def test_fully_degraded_link_drops_everything(self, tiny_dataset):
+        transport = ConditionedTransport(
+            seed=2, asymmetry=AsymmetrySpec(degraded_fraction=1.0, link_loss_rate=1.0)
+        )
+        network, nodes = _wire(transport, tiny_dataset)
+        dispatch = transport.request(0, 1, _digest_ad(nodes[0]))
+        assert dispatch.status == DROPPED
+        assert network.stats.total_bytes() > 0  # charged at send time
+
+    def test_degraded_link_delay_defers_deferrable_messages(self, tiny_dataset):
+        transport = ConditionedTransport(
+            seed=2, asymmetry=AsymmetrySpec(degraded_fraction=1.0, link_delay_cycles=2)
+        )
+        network, nodes = _wire(transport, tiny_dataset)
+        dispatch = transport.request(0, 1, _digest_ad(nodes[0]))
+        assert dispatch.status == DEFERRED
+        assert transport.pending_count() == 1
+        # Control sub-requests stay synchronous even on degraded links.
+        control = CommonItemsRequest(subject_id=0, items=frozenset({1}))
+        assert transport.request(0, 1, control).status == DELIVERED

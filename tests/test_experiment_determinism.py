@@ -12,11 +12,17 @@ Two pins, in the spirit of the transport golden fixture:
   workload from scratch, so process fan-out is a pure wall-clock
   optimisation, never a source of divergence.
 
-Regenerate the fig-loss pin (only after an *intentional* behaviour change)
-with::
+The adversarial figures (``fig-partition``, ``fig-free-riders``) are pinned
+the same way: together they cover the conditioned transport (partition cuts,
+held envelopes, heal-cycle delivery) and the free-rider paths end to end.
+
+Regenerate a pin (only after an *intentional* behaviour change) with::
 
     PYTHONPATH=src python -m repro.experiments.cli fig-loss --output results/
     mv results/fig-loss.txt results/test_fig_loss.txt
+
+(and analogously ``fig-partition`` -> ``test_fig_partition.txt``,
+``fig-free-riders`` -> ``test_fig_free_riders.txt``).
 """
 
 from __future__ import annotations
@@ -24,10 +30,14 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.experiments import ExperimentScale, prepare_workload
+from repro.experiments.fig_adversarial import run_free_rider_sweep, run_partition_heal
 from repro.experiments.fig_loss import run_loss_sweep
 from repro.experiments.runner import run_experiments_parallel
 
-GOLDEN_FIG_LOSS = Path(__file__).parent.parent / "results" / "test_fig_loss.txt"
+_RESULTS = Path(__file__).parent.parent / "results"
+GOLDEN_FIG_LOSS = _RESULTS / "test_fig_loss.txt"
+GOLDEN_FIG_PARTITION = _RESULTS / "test_fig_partition.txt"
+GOLDEN_FIG_FREE_RIDERS = _RESULTS / "test_fig_free_riders.txt"
 
 
 class TestFigLossGolden:
@@ -42,6 +52,34 @@ class TestFigLossGolden:
         """Sanity on the pinned numbers: loss can only hurt final recall."""
         golden = GOLDEN_FIG_LOSS.read_text(encoding="utf-8")
         assert "loss=0%" in golden and "loss=40%" in golden
+
+
+class TestFigPartitionGolden:
+    def test_partition_heal_matches_committed_report(self):
+        scale = ExperimentScale.small()
+        workload = prepare_workload(scale)
+        result = run_partition_heal(scale, cycles=12, workload=workload)
+        golden = GOLDEN_FIG_PARTITION.read_text(encoding="utf-8")
+        assert result.render() + "\n" == golden
+
+    def test_partition_stalls_then_recovers(self):
+        """Sanity on the pinned numbers: the cut hurts, the heal helps."""
+        golden = GOLDEN_FIG_PARTITION.read_text(encoding="utf-8")
+        assert "healthy" in golden and "partitioned" in golden
+        assert "messages dropped at the cut" in golden
+
+
+class TestFigFreeRidersGolden:
+    def test_free_rider_sweep_matches_committed_report(self):
+        scale = ExperimentScale.small()
+        workload = prepare_workload(scale)
+        result = run_free_rider_sweep(scale, cycles=12, workload=workload)
+        golden = GOLDEN_FIG_FREE_RIDERS.read_text(encoding="utf-8")
+        assert result.render() + "\n" == golden
+
+    def test_zero_fraction_column_present(self):
+        golden = GOLDEN_FIG_FREE_RIDERS.read_text(encoding="utf-8")
+        assert "riders=0%" in golden and "riders=75%" in golden
 
 
 class TestParallelDeterminism:

@@ -22,7 +22,12 @@ from repro.simtest import (
 )
 from repro.simtest.cli import broken_byte_pricing, main
 from repro.simtest.invariants import reference_kind, reference_price
-from repro.simtest.spec import ChurnEvent, DynamicsSpec
+from repro.simtest.spec import (
+    ChurnEvent,
+    CommunityChurnEvent,
+    DynamicsSpec,
+    GeneratorRanges,
+)
 from repro.simulator.transport import DigestAdvertisement
 from repro.gossip.views import PersonalNetwork
 
@@ -59,6 +64,32 @@ class TestSpec:
     def test_json_round_trip(self):
         spec = ScenarioGenerator(0).spec(4)
         assert spec.churn and spec.dynamics  # seed 0 / index 4 has both
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_json_round_trip_with_every_condition(self):
+        from repro.simulator.conditions import AsymmetrySpec, PartitionSpec
+
+        spec = FAST_SPEC.but(
+            transport="conditioned",
+            partition=PartitionSpec(components=3, split_cycle=2, heal_cycle=6),
+            asymmetry=AsymmetrySpec(
+                degraded_fraction=0.2,
+                link_loss_rate=0.1,
+                link_delay_cycles=2,
+                nat_fraction=0.1,
+            ),
+            free_rider_fraction=0.25,
+            churn=(
+                ChurnEvent(
+                    phase="lazy", cycle=1, fraction=0.2, rejoin_after=1, mode="crash"
+                ),
+            ),
+            community_churn=(
+                CommunityChurnEvent(
+                    phase="eager", cycle=1, community=1, rejoin_after=2, mode="crash"
+                ),
+            ),
+        )
         assert ScenarioSpec.from_json(spec.to_json()) == spec
 
     def test_repro_command_embeds_the_spec(self):
@@ -102,19 +133,56 @@ class TestSpec:
     def test_generated_specs_are_valid_and_varied(self):
         specs = list(ScenarioGenerator(3).specs(40))
         transports = {spec.transport for spec in specs}
-        assert transports == {"direct", "lossy", "latency"}
+        assert transports == {"direct", "lossy", "latency", "conditioned"}
         assert any(spec.churn for spec in specs)
         assert any(spec.dynamics for spec in specs)
         assert any(
             spec.transport != "direct" and spec.direct_equivalent for spec in specs
         )
 
+    def test_generated_specs_cover_adversarial_dimensions(self):
+        specs = list(ScenarioGenerator(3).specs(120))
+        assert any(spec.partition is not None for spec in specs)
+        assert any(
+            spec.asymmetry is not None and not spec.asymmetry.is_null
+            for spec in specs
+        )
+        assert any(spec.free_rider_fraction > 0.0 for spec in specs)
+        assert any(
+            event.mode == "crash" for spec in specs for event in spec.churn
+        )
+        assert any(spec.community_churn for spec in specs)
+
+    def test_adversarial_profile_skews_toward_conditions(self):
+        base = list(ScenarioGenerator(3).specs(60))
+        hostile = list(
+            ScenarioGenerator(3, ranges=GeneratorRanges.adversarial()).specs(60)
+        )
+
+        def count(specs):
+            return sum(
+                1
+                for spec in specs
+                if spec.partition is not None
+                or (spec.asymmetry is not None and not spec.asymmetry.is_null)
+                or spec.free_rider_fraction > 0.0
+                or spec.community_churn
+            )
+
+        assert count(hostile) > count(base)
+
 
 class TestRunner:
     def test_fast_spec_passes_all_invariants(self):
         result = run_scenario(FAST_SPEC)
         assert result.ok, result.violation
-        assert set(result.checked) == set(REGISTRY)
+        applicable = {c.name for c in default_checkers(FAST_SPEC)}
+        assert set(result.checked) == applicable
+        # The adversarial checkers gate on their conditions being present.
+        assert set(REGISTRY) - applicable == {
+            "partition-isolation",
+            "free-rider-containment",
+        }
 
     def test_checkers_do_not_perturb_the_run(self):
         """Observers and hooks are passive: fingerprints match bit for bit."""

@@ -240,15 +240,15 @@ class TestLossyTransport:
         a = LossyTransport(loss_rate=0.5, seed=9)
         b = LossyTransport(loss_rate=0.5, seed=9)
         message = FullProfileRequest(subject_id=1)
-        rolls_a = [a._roll_drop(message) for _ in range(50)]
-        rolls_b = [b._roll_drop(message) for _ in range(50)]
+        rolls_a = [a._roll_drop(message, 0, 1) for _ in range(50)]
+        rolls_b = [b._roll_drop(message, 0, 1) for _ in range(50)]
         assert rolls_a == rolls_b
         assert any(rolls_a) and not all(rolls_a)
 
     def test_zero_rate_consumes_no_randomness(self):
         transport = LossyTransport(loss_rate=0.0, seed=9)
         state = transport.drop_rng.getstate()
-        assert not transport._roll_drop(FullProfileRequest(subject_id=1))
+        assert not transport._roll_drop(FullProfileRequest(subject_id=1), 0, 1)
         assert transport.drop_rng.getstate() == state
 
     def test_dropped_reply_is_distinguished_from_dropped_request(self, tiny_dataset):
@@ -260,7 +260,7 @@ class TestLossyTransport:
                 super().__init__(loss_rate=0.5, seed=0)  # rate only enables rolling
                 self.script = list(script)
 
-            def _roll_drop(self, message):
+            def _roll_drop(self, message, sender, receiver):
                 return self.script.pop(0) if self.script else False
 
         config = P3QConfig(
@@ -294,7 +294,7 @@ class TestLossyTransport:
             def __init__(self):
                 super().__init__(loss_rate=0.5, seed=0)
 
-            def _roll_drop(self, message):
+            def _roll_drop(self, message, sender, receiver):
                 return isinstance(message, RemainingReturn)
 
         config = P3QConfig(
@@ -372,8 +372,8 @@ class TestLatencyTransport:
         a = LatencyTransport(delay_cycles=4, seed=11)
         b = LatencyTransport(delay_cycles=4, seed=11)
         message = RemainingReturn(query_id=1, remaining=(1,))
-        assert [a._roll_delay(message) for _ in range(50)] == [
-            b._roll_delay(message) for _ in range(50)
+        assert [a._roll_delay(message, 0, 1) for _ in range(50)] == [
+            b._roll_delay(message, 0, 1) for _ in range(50)
         ]
 
     def test_message_to_departed_node_is_lost(self, tiny_dataset):
