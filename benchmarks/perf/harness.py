@@ -1,6 +1,6 @@
 """Micro and macro performance benchmarks writing ``BENCH_p3q.json``.
 
-Three benchmark families:
+Four benchmark families:
 
 * **digest** -- Bloom-filter construction and membership throughput of the
   bit-packed :class:`repro.bloom.BloomFilter` versus the seed
@@ -10,12 +10,23 @@ Three benchmark families:
   (:func:`repro.similarity.overlap_score` on cached action-id sets) versus
   a naive baseline that rebuilds tuple sets per comparison, the seed's
   behaviour;
+* **columnar** -- digest-row build and pair-probe throughput of the
+  columnar store (:mod:`repro.data.columnar`) versus the object-level
+  big-int path, at large N;
 * **macro** -- end-to-end simulator cycles/sec (lazy gossip and eager query
   processing) at several network sizes.
 
 The report format is versioned JSON; :func:`validate_report` is the schema
 check CI runs against the smoke report.  All numbers are best-of-``repeats``
 wall-clock rates, so background noise biases results low, never high.
+
+Schema v4 adds per-phase peak-RSS accounting (cumulative ``ru_maxrss``
+observed after each phase), the resolved executor kind plus pool-reuse
+count on sharded entries, the ``columnar`` micro section, and the optional
+``worker_scaling`` serial-vs-sharded section.  ``--require-executor`` turns
+a silent executor degradation (requested workers resolving to the inline
+pass-through) into a hard failure -- CI's multi-core jobs use it so a
+mis-provisioned runner cannot greenwash the parallel path.
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_REPORT_NAME = "BENCH_p3q.json"
 
 #: Macro benchmark network sizes (the issue's N=100/500/1000 trajectory).
@@ -50,6 +61,31 @@ XL_SIZE_THRESHOLD = 50_000
 
 
 _median = statistics.median
+
+
+def _peak_rss_bytes() -> Optional[int]:
+    """The process's lifetime peak RSS in bytes (``None`` off-POSIX).
+
+    ``ru_maxrss`` is a high-water mark: sampling it after a phase reports
+    the cumulative peak *up to and including* that phase, so per-phase
+    values are monotone and the last one is the run's true peak.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def _pool_reuse_count(sim) -> int:
+    """Barriers served by the simulation's persistent pool incarnation."""
+    engine = sim.engine
+    pool = getattr(engine, "_pool", None)
+    if pool is not None:
+        return pool.barriers_served
+    return 0
 
 
 def _best_rate(operation: Callable[[], int], repeats: int) -> float:
@@ -198,6 +234,207 @@ def bench_similarity(
     }
 
 
+# ------------------------------------------------------------------- columnar
+
+#: Columnar micro-benchmark population sizes (the issue's 1e4 / 1e5 points).
+DEFAULT_COLUMNAR_SIZES = (10_000, 100_000)
+QUICK_COLUMNAR_SIZES = (1_000,)
+
+
+def bench_columnar(
+    sizes: Sequence[int] = DEFAULT_COLUMNAR_SIZES,
+    repeats: int = 3,
+    quick: bool = False,
+    seed: int = 5,
+    num_bits: int = 20_000,
+    num_hashes: int = 14,
+    object_build_cap: int = 2_000,
+    num_probe_pairs: int = 200,
+) -> Dict[str, Dict[str, float]]:
+    """Digest-row build and pair-probe throughput, columnar vs object path.
+
+    Per population size:
+
+    * **build** -- rows/sec of :meth:`DigestMatrix.build_rows` over the
+      whole store (the cache-hoisted bulk path the setup pipeline uses)
+      versus profiles/sec of ``BloomFilter.from_items`` over a capped
+      sample (the PR-1 per-profile object path; building all N that way
+      is exactly the cost the columnar build replaces, so the sample keeps
+      the benchmark honest *and* finite).
+    * **probe** -- item probes/sec of the shard workers' pricing loop
+      (``mask_int`` AND against the row's bits integer) versus the
+      object path (``item in bloom`` positional probes), over the same
+      ``(receiver, subject)`` pair sample.
+    """
+    from repro.bloom import BloomFilter
+    from repro.data.columnar import (
+        ColumnarStore,
+        DigestMatrix,
+        geometry_mask_cache,
+        mask_int,
+    )
+    from repro.data.synthetic import SyntheticConfig, SyntheticTraceGenerator
+
+    if quick:
+        sizes = QUICK_COLUMNAR_SIZES
+        repeats = 2
+        object_build_cap = 200
+        num_probe_pairs = 50
+
+    results: Dict[str, Dict[str, float]] = {}
+    for size in sizes:
+        generator = SyntheticTraceGenerator(SyntheticConfig(num_users=size, seed=seed))
+        store = ColumnarStore.from_action_stream(generator.iter_user_actions())
+        matrix = DigestMatrix(len(store), num_bits, num_hashes)
+
+        def build_columnar() -> int:
+            return matrix.build_rows(store)
+
+        sample = list(range(0, len(store), max(1, len(store) // object_build_cap)))
+        sample = sample[:object_build_cap]
+
+        def build_object() -> int:
+            for row in sample:
+                BloomFilter.from_items(
+                    store.distinct_items_of_row(row),
+                    num_bits=num_bits,
+                    num_hashes=num_hashes,
+                )
+            return len(sample)
+
+        build_rows_per_sec = _best_rate(build_columnar, repeats)
+        object_rows_per_sec = _best_rate(build_object, repeats)
+
+        # Probe benchmark: the same pair set through both representations.
+        step = max(1, len(store) // num_probe_pairs)
+        pairs = [
+            (row, (row + 7) % len(store)) for row in range(0, len(store), step)
+        ][:num_probe_pairs]
+        probes_per_round = sum(
+            len(store.distinct_items_of_row(receiver)) for receiver, _ in pairs
+        )
+        blooms = {
+            subject: BloomFilter.from_state(
+                num_bits, num_hashes, matrix.row_bits_int(subject), 0
+            )
+            for _, subject in pairs
+        }
+
+        mask_cache = geometry_mask_cache(num_bits, num_hashes)
+
+        def probe_columnar() -> int:
+            cache_get = mask_cache.get
+            for receiver, subject in pairs:
+                bits = matrix.row_bits_int(subject)
+                for item in store.distinct_items_of_row(receiver):
+                    mask = cache_get(item)
+                    if mask is None:
+                        mask = mask_int(item, num_bits, num_hashes)
+                    if bits & mask == mask:
+                        pass
+            return probes_per_round
+
+        def probe_object() -> int:
+            for receiver, subject in pairs:
+                bloom = blooms[subject]
+                for item in store.distinct_items_of_row(receiver):
+                    if item in bloom:
+                        pass
+            return probes_per_round
+
+        probe_columnar_per_sec = _best_rate(probe_columnar, repeats)
+        probe_object_per_sec = _best_rate(probe_object, repeats)
+
+        results[str(size)] = {
+            "num_users": size,
+            "num_actions": store.num_actions,
+            "digest_bits": num_bits,
+            "digest_hashes": num_hashes,
+            "build_rows_per_sec": build_rows_per_sec,
+            "object_build_rows_per_sec": object_rows_per_sec,
+            "object_build_sampled_rows": len(sample),
+            "build_speedup": (
+                build_rows_per_sec / object_rows_per_sec if object_rows_per_sec else 0.0
+            ),
+            "probe_pairs": len(pairs),
+            "probe_ops_per_sec": probe_columnar_per_sec,
+            "object_probe_ops_per_sec": probe_object_per_sec,
+            "probe_speedup": (
+                probe_columnar_per_sec / probe_object_per_sec
+                if probe_object_per_sec
+                else 0.0
+            ),
+        }
+        matrix.close()
+    return results
+
+
+# ------------------------------------------------------------- worker scaling
+
+
+def bench_worker_scaling(
+    size: int = 10_000,
+    workers: int = 4,
+    engine_executor: str = "auto",
+    lazy_cycles: int = 2,
+    seed: int = 1,
+    dataset_cache: Optional[Path] = None,
+) -> Dict[str, float]:
+    """Serial vs sharded lazy throughput at one size, same process, same data.
+
+    The committed report's evidence that the requested worker count
+    resolved to a real parallel executor and what it bought: records both
+    lazy cycles/sec rates, the resolved executor, the pool-reuse count and
+    the speedup.  On a single-core runner the executor honestly resolves
+    to ``inline`` (or the explicit executor runs without a core to win on)
+    and the speedup reads below one -- ``--require-executor`` is how CI
+    rejects that outcome on machines that should do better.
+    """
+    import gc
+
+    from repro.data import SyntheticConfig, load_or_generate_synthetic
+    from repro.p3q import P3QConfig, P3QSimulation
+    from repro.simulator.shard import resolve_executor
+
+    dataset, cache_status = load_or_generate_synthetic(
+        SyntheticConfig(num_users=size, seed=seed), dataset_cache
+    )
+
+    def run(run_workers: int, executor: str):
+        config = P3QConfig(
+            network_size=max(10, min(50, size // 4)),
+            storage=3,
+            seed=seed,
+            workers=run_workers,
+            engine_executor=executor,
+        )
+        sim = P3QSimulation(dataset.copy(), config)
+        sim.bootstrap_random_views()
+        gc.collect()
+        start = time.perf_counter()
+        sim.run_lazy(lazy_cycles)
+        elapsed = time.perf_counter() - start
+        rate = lazy_cycles / elapsed if elapsed > 0 else 0.0
+        reuse = _pool_reuse_count(sim)
+        sim.close()
+        return rate, reuse
+
+    serial_rate, _ = run(1, "inline")
+    sharded_rate, pool_reuse = run(workers, engine_executor)
+
+    return {
+        "num_nodes": size,
+        "lazy_cycles": lazy_cycles,
+        "workers": workers,
+        "engine_executor": resolve_executor(engine_executor, workers),
+        "serial_lazy_cycles_per_sec": serial_rate,
+        "sharded_lazy_cycles_per_sec": sharded_rate,
+        "speedup": sharded_rate / serial_rate if serial_rate else 0.0,
+        "pool_reuse_count": pool_reuse,
+        "dataset_cache": cache_status,
+    }
+
+
 # ---------------------------------------------------------------------- macro
 
 
@@ -277,8 +514,13 @@ def bench_macro(
         eager_run = 0
         #: Per-repeat phase breakdowns, parallel to ``lazy_samples``.
         phase_runs: List[Dict[str, float]] = []
+        pool_reuse = 0
+        peak_rss: Dict[str, int] = {}
         for _ in range(size_repeats):
             phases: Dict[str, float] = {"dataset_seconds": dataset_seconds}
+            rss = _peak_rss_bytes()
+            if rss is not None:
+                peak_rss["dataset"] = rss
 
             start = time.perf_counter()
             sim = P3QSimulation(dataset.copy(), config)
@@ -287,12 +529,18 @@ def bench_macro(
             start = time.perf_counter()
             sim.bootstrap_random_views()
             phases["bootstrap_seconds"] = time.perf_counter() - start
+            rss = _peak_rss_bytes()
+            if rss is not None:
+                peak_rss["bootstrap"] = rss
 
             gc.collect()
             start = time.perf_counter()
             sim.run_lazy(size_lazy_cycles)
             lazy_elapsed = time.perf_counter() - start
             phases["lazy_seconds"] = lazy_elapsed
+            rss = _peak_rss_bytes()
+            if rss is not None:
+                peak_rss["lazy"] = rss
 
             # The eager phase needs populated personal networks with unstored
             # neighbours (that is where the remaining lists come from).  Small
@@ -317,12 +565,17 @@ def bench_macro(
             run = sim.run_eager(cycles=50, stop_when_idle=not xl)
             eager_elapsed = time.perf_counter() - start
             phases["eager_seconds"] = eager_elapsed
+            rss = _peak_rss_bytes()
+            if rss is not None:
+                peak_rss["eager"] = rss
             if eager_elapsed > 0:
                 eager_samples.append(run / eager_elapsed)
                 eager_run = run
             if lazy_elapsed > 0:
                 lazy_samples.append(size_lazy_cycles / lazy_elapsed)
                 phase_runs.append(phases)
+            pool_reuse = max(pool_reuse, _pool_reuse_count(sim))
+            sim.close()
 
         # Headline selection: median sample with >= 3 repeats, best otherwise.
         use_median = len(lazy_samples) >= 3
@@ -361,8 +614,14 @@ def bench_macro(
             "eager_warm": "ideal" if ideal_warm else "lazy",
             "workers": workers,
             "engine_executor": resolve_executor(engine_executor, workers),
+            "pool_reuse_count": pool_reuse,
             "dataset_cache": cache_status,
         }
+        if peak_rss:
+            # Cumulative high-water marks: peak_rss["lazy"] is the peak RSS
+            # observed by the end of the lazy phase, not the phase's own
+            # allocation (ru_maxrss never decreases).
+            entry["peak_rss_bytes"] = peak_rss
         if profile_phases:
             entry["phases"] = {
                 name: round(value, 6) for name, value in chosen_phases.items()
@@ -395,7 +654,7 @@ def bench_scale_smoke(
     """
     import gc
 
-    from repro.data import QueryWorkloadGenerator, SyntheticConfig, load_or_generate_synthetic
+    from repro.data import QueryWorkloadGenerator, SyntheticConfig, load_or_generate_columnar
     from repro.p3q import P3QConfig, P3QSimulation
     from repro.simulator.shard import resolve_executor
 
@@ -405,7 +664,11 @@ def bench_scale_smoke(
         raise ValueError("budget_seconds must be positive")
 
     start = time.perf_counter()
-    dataset, cache_status = load_or_generate_synthetic(
+    # The columnar loader streams the trace straight into flat arrays (and
+    # adopts the cache file's arrays directly on a hit) -- the large-N setup
+    # path this smoke is meant to gate.  Profile materialization is
+    # bit-identical to the object loader, so the run itself is unchanged.
+    dataset, cache_status = load_or_generate_columnar(
         SyntheticConfig(num_users=size, seed=seed), dataset_cache
     )
     config = P3QConfig(
@@ -419,11 +682,18 @@ def bench_scale_smoke(
     sim = P3QSimulation(dataset, config)
     sim.bootstrap_random_views()
     setup_seconds = time.perf_counter() - start
+    peak_rss: Dict[str, int] = {}
+    rss = _peak_rss_bytes()
+    if rss is not None:
+        peak_rss["setup"] = rss
 
     gc.collect()
     start = time.perf_counter()
     sim.run_lazy(1)
     lazy_seconds = time.perf_counter() - start
+    rss = _peak_rss_bytes()
+    if rss is not None:
+        peak_rss["lazy"] = rss
 
     workload = QueryWorkloadGenerator(dataset, seed=seed)
     queriers = dataset.user_ids[: min(num_queries, len(dataset))]
@@ -432,9 +702,12 @@ def bench_scale_smoke(
     start = time.perf_counter()
     sim.run_eager(cycles=1, stop_when_idle=False)
     eager_seconds = time.perf_counter() - start
+    rss = _peak_rss_bytes()
+    if rss is not None:
+        peak_rss["eager"] = rss
 
     cycle_seconds = lazy_seconds + eager_seconds
-    return {
+    result = {
         "num_nodes": size,
         "setup_seconds": round(setup_seconds, 3),
         "lazy_cycle_seconds": round(lazy_seconds, 3),
@@ -444,8 +717,13 @@ def bench_scale_smoke(
         "within_budget": cycle_seconds <= budget_seconds,
         "workers": workers,
         "engine_executor": resolve_executor(engine_executor, workers),
+        "pool_reuse_count": _pool_reuse_count(sim),
         "dataset_cache": cache_status,
     }
+    if peak_rss:
+        result["peak_rss_bytes"] = peak_rss
+    sim.close()
+    return result
 
 
 # --------------------------------------------------------------------- report
@@ -459,6 +737,8 @@ def run_suite(
     workers: int = 1,
     engine_executor: str = "auto",
     dataset_cache: Optional[Path] = None,
+    columnar: bool = False,
+    worker_scaling_size: Optional[int] = None,
 ) -> Dict:
     """Run the full benchmark suite and return the report dictionary."""
     started = time.time()
@@ -473,17 +753,35 @@ def run_suite(
         engine_executor=engine_executor,
         dataset_cache=dataset_cache,
     )
-    return {
+    report = {
         "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)),
-        "wall_seconds": round(time.time() - started, 3),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": __import__("os").cpu_count(),
         "digest": digest,
         "similarity": similarity,
         "macro": macro,
     }
+    if columnar or quick:
+        report["columnar"] = bench_columnar(quick=quick)
+    if worker_scaling_size is not None:
+        report["worker_scaling"] = {
+            str(worker_scaling_size): bench_worker_scaling(
+                size=worker_scaling_size,
+                workers=max(2, workers),
+                # The section exists to measure the real parallel executor,
+                # so "auto" must not quietly degrade it to inline on a
+                # small machine -- force the pool and report honestly.
+                engine_executor=(
+                    engine_executor if engine_executor != "auto" else "pool"
+                ),
+                dataset_cache=dataset_cache,
+            )
+        }
+    report["wall_seconds"] = round(time.time() - started, 3)
+    return report
 
 
 def validate_report(report: Dict) -> List[str]:
@@ -537,6 +835,65 @@ def validate_report(report: Dict) -> List[str]:
                 problems.append(
                     f"macro[{size!r}].lazy_rate_samples must be a non-empty list"
                 )
+            # Schema v4: every macro entry names the executor that actually
+            # ran and the pool-reuse count (0 for non-pool executors).
+            if entry.get("engine_executor") not in ("inline", "fork", "pool"):
+                problems.append(
+                    f"macro[{size!r}].engine_executor must be "
+                    f"'inline', 'fork' or 'pool'"
+                )
+            reuse = entry.get("pool_reuse_count")
+            if not isinstance(reuse, int) or reuse < 0:
+                problems.append(
+                    f"macro[{size!r}].pool_reuse_count must be a "
+                    f"non-negative integer"
+                )
+            rss = entry.get("peak_rss_bytes")
+            if rss is not None:
+                if not isinstance(rss, dict) or not all(
+                    isinstance(value, int) and value > 0 for value in rss.values()
+                ):
+                    problems.append(
+                        f"macro[{size!r}].peak_rss_bytes must map phases to "
+                        f"positive byte counts"
+                    )
+    columnar = report.get("columnar")
+    if columnar is not None:
+        if not isinstance(columnar, dict) or not columnar:
+            problems.append("section 'columnar' must be a non-empty object")
+        else:
+            for size, entry in columnar.items():
+                for key in ("build_rows_per_sec", "probe_ops_per_sec", "probe_speedup"):
+                    value = entry.get(key) if isinstance(entry, dict) else None
+                    if not isinstance(value, (int, float)) or value <= 0:
+                        problems.append(
+                            f"columnar[{size!r}].{key} must be a positive number"
+                        )
+    scaling = report.get("worker_scaling")
+    if scaling is not None:
+        if not isinstance(scaling, dict) or not scaling:
+            problems.append("section 'worker_scaling' must be a non-empty object")
+        else:
+            for size, entry in scaling.items():
+                if not isinstance(entry, dict):
+                    problems.append(f"worker_scaling[{size!r}] must be an object")
+                    continue
+                for key in (
+                    "serial_lazy_cycles_per_sec",
+                    "sharded_lazy_cycles_per_sec",
+                    "speedup",
+                ):
+                    value = entry.get(key)
+                    if not isinstance(value, (int, float)) or value <= 0:
+                        problems.append(
+                            f"worker_scaling[{size!r}].{key} must be a "
+                            f"positive number"
+                        )
+                if entry.get("engine_executor") not in ("inline", "fork", "pool"):
+                    problems.append(
+                        f"worker_scaling[{size!r}].engine_executor must be "
+                        f"'inline', 'fork' or 'pool'"
+                    )
     return problems
 
 
@@ -636,6 +993,25 @@ def _print_summary(report: Dict) -> None:
                 for name, value in phases.items()
             )
             print(f"  phases: {breakdown}")
+    for size, entry in sorted(
+        (report.get("columnar") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        print(
+            f"columnar N={size}: build {entry['build_rows_per_sec']:,.0f} rows/s "
+            f"({entry['build_speedup']:.1f}x vs object), "
+            f"probe {entry['probe_ops_per_sec']:,.0f} ops/s "
+            f"({entry['probe_speedup']:.1f}x)"
+        )
+    for size, entry in sorted(
+        (report.get("worker_scaling") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        print(
+            f"worker scaling N={size}: serial "
+            f"{entry['serial_lazy_cycles_per_sec']:.2f} -> sharded "
+            f"{entry['sharded_lazy_cycles_per_sec']:.2f} lazy cycles/s "
+            f"({entry['speedup']:.2f}x, workers={entry['workers']}/"
+            f"{entry['engine_executor']}, pool reuse {entry['pool_reuse_count']})"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -704,10 +1080,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=("auto", "inline", "fork"),
+        choices=("auto", "inline", "fork", "pool"),
         default="auto",
-        help="sharded-engine executor (default: auto -- fork when the "
-        "machine has at least two cores, inline otherwise)",
+        help="sharded-engine executor (default: auto -- persistent pool "
+        "when the machine has at least two cores, inline otherwise)",
+    )
+    parser.add_argument(
+        "--require-executor",
+        choices=("inline", "fork", "pool"),
+        default=None,
+        metavar="KIND",
+        help="fail (exit 2) unless the requested workers/executor resolve "
+        "to KIND on this machine -- CI's multi-core jobs pass this so a "
+        "single-core runner cannot silently degrade the parallel path "
+        "to the inline pass-through",
+    )
+    parser.add_argument(
+        "--fragment-output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --scale-smoke: also write the timing breakdown as a "
+        "JSON fragment (uploaded as a CI artifact)",
+    )
+    parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="include the columnar micro-benchmark section "
+        f"(sizes {DEFAULT_COLUMNAR_SIZES}; always on for --quick)",
+    )
+    parser.add_argument(
+        "--worker-scaling",
+        type=int,
+        default=None,
+        metavar="N",
+        help="include a serial-vs-sharded lazy-throughput comparison at N "
+        "nodes (uses --workers/--executor for the sharded side)",
     )
     parser.add_argument(
         "--dataset-cache",
@@ -747,6 +1155,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    def check_required_executor(resolved: str) -> bool:
+        """False (after a loud stderr message) on executor degradation."""
+        if args.require_executor is not None and resolved != args.require_executor:
+            import os as _os
+
+            print(
+                f"executor requirement FAILED: requested workers={args.workers} "
+                f"executor={args.executor!r} resolved to {resolved!r}, "
+                f"required {args.require_executor!r} "
+                f"(cpu_count={_os.cpu_count()}) -- this runner cannot "
+                f"exercise the parallel path it was asked to measure",
+                file=sys.stderr,
+            )
+            return False
+        return True
+
     if args.scale_smoke is not None:
         result = bench_scale_smoke(
             size=args.scale_smoke,
@@ -755,6 +1179,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             engine_executor=args.executor,
             dataset_cache=args.dataset_cache,
         )
+        if args.fragment_output is not None:
+            fragment = {"schema_version": SCHEMA_VERSION, "scale_smoke": result}
+            args.fragment_output.write_text(
+                json.dumps(fragment, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
         print(
             f"scale smoke N={result['num_nodes']}: "
             f"setup {result['setup_seconds']:.1f}s "
@@ -764,6 +1194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(budget {result['budget_seconds']:.0f}s, "
             f"workers {result['workers']}/{result['engine_executor']})"
         )
+        if not check_required_executor(result["engine_executor"]):
+            return 2
         if not result["within_budget"]:
             print(
                 f"scale smoke FAILED: {result['cycle_seconds']:.1f}s of cycle time "
@@ -814,6 +1246,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # dict.fromkeys dedupes while preserving order: a size listed both
         # in --sizes and in the scale set must not run (minutes) twice.
         sizes = tuple(dict.fromkeys(tuple(sizes or DEFAULT_MACRO_SIZES) + SCALE_MACRO_SIZES))
+    if args.require_executor is not None:
+        from repro.simulator.shard import resolve_executor
+
+        if not check_required_executor(resolve_executor(args.executor, args.workers)):
+            return 2
     report = run_suite(
         quick=args.quick,
         sizes=sizes,
@@ -822,6 +1259,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         engine_executor=args.executor,
         dataset_cache=args.dataset_cache,
+        columnar=args.columnar,
+        worker_scaling_size=args.worker_scaling,
     )
     write_report(report, args.output)
     _print_summary(report)

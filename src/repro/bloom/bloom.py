@@ -343,6 +343,20 @@ class BloomFilter:
         bloom._count = count
         return bloom
 
+    @classmethod
+    def from_columnar(
+        cls, num_bits: int, num_hashes: int, row: bytes, count: int
+    ) -> "BloomFilter":
+        """Adopt a digest row of a :class:`~repro.data.columnar.DigestMatrix`.
+
+        The row is the little-endian byte image of the packed bit array --
+        by construction the OR of the same per-item probe masks ``update``
+        would have ORed -- so the resulting filter is bit-identical to one
+        built item by item.  ``count`` is the number of distinct items the
+        row encodes.
+        """
+        return cls.from_state(num_bits, num_hashes, int.from_bytes(row, "little"), count)
+
     # -- introspection --------------------------------------------------------
 
     @property

@@ -23,9 +23,11 @@ from .dynamics import (
     massive_departure,
 )
 from .queries import Query, QueryWorkloadGenerator
+from .columnar import ColumnarDataset, ColumnarStore, DigestMatrix
 from .loader import (
     DatasetFormatError,
     load_dataset,
+    load_or_generate_columnar,
     load_or_generate_synthetic,
     save_dataset,
     synthetic_cache_key,
@@ -44,9 +46,12 @@ __all__ = [
     "intern_action",
     "ChangeDay",
     "ChurnEvent",
+    "ColumnarDataset",
+    "ColumnarStore",
     "Dataset",
     "DatasetFormatError",
     "DatasetStats",
+    "DigestMatrix",
     "DynamicsConfig",
     "ImportResult",
     "ProfileChange",
@@ -63,6 +68,7 @@ __all__ = [
     "import_tagging_trace",
     "iter_tagging_rows",
     "load_dataset",
+    "load_or_generate_columnar",
     "load_or_generate_synthetic",
     "massive_departure",
     "paper_scale_config",

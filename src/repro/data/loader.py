@@ -225,6 +225,120 @@ def load_trace_cache(path: Union[str, Path], expected_key: Optional[str] = None)
     return Dataset(profiles)
 
 
+def _read_cache_arrays(
+    path: Path, expected_key: Optional[str] = None
+) -> Tuple[array, array, array, array]:
+    """The four raw arrays of a binary trace cache (uids, counts, items, tags)."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise DatasetFormatError(f"{path}: unreadable cache header") from exc
+        if header.get("format") != CACHE_FORMAT or header.get("version") != CACHE_VERSION:
+            raise DatasetFormatError(f"{path} is not a {CACHE_FORMAT} v{CACHE_VERSION} file")
+        if expected_key is not None and header.get("key") != expected_key:
+            raise DatasetFormatError(f"{path}: cache key mismatch")
+        num_users = int(header["num_users"])
+        num_actions = int(header["num_actions"])
+        uids = array("i")
+        counts = array("i")
+        items = array("i")
+        tags = array("i")
+        uids.frombytes(handle.read(4 * num_users))
+        counts.frombytes(handle.read(4 * num_users))
+        items.frombytes(handle.read(4 * num_actions))
+        tags.frombytes(handle.read(4 * num_actions))
+    if (
+        len(uids) != num_users
+        or len(counts) != num_users
+        or len(items) != num_actions
+        or len(tags) != num_actions
+    ):
+        raise DatasetFormatError(f"{path}: truncated cache file")
+    if sum(counts) != num_actions:
+        raise DatasetFormatError(f"{path}: action counts disagree with payload")
+    return uids, counts, items, tags
+
+
+def load_or_generate_columnar(
+    config: SyntheticConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+    refresh: bool = False,
+):
+    """Columnar twin of :func:`load_or_generate_synthetic`.
+
+    Returns ``(ColumnarDataset, status)``.  The trace streams straight into
+    a :class:`~repro.data.columnar.ColumnarStore` -- no per-user action
+    lists or profile objects are built at load time -- and a cache hit
+    adopts the cache file's arrays directly (the binary cache layout IS the
+    columnar layout).  Materializing any profile of the returned dataset
+    reproduces the object pipeline's profile bit for bit, so the two load
+    paths have equal dataset fingerprints (pinned by tests).
+    """
+    from .columnar import ColumnarDataset, ColumnarStore
+
+    if cache_dir is None:
+        generator = SyntheticTraceGenerator(config)
+        store = ColumnarStore.from_action_stream(generator.iter_user_actions())
+        return ColumnarDataset(store), "off"
+    key = synthetic_cache_key(config)
+    path = Path(cache_dir) / f"{key}.trace"
+    if not refresh and path.exists():
+        try:
+            store = ColumnarStore.from_cache_arrays(*_read_cache_arrays(path, key))
+            return ColumnarDataset(store), "hit"
+        except (OSError, DatasetFormatError, ValueError):
+            pass  # fall through to regeneration
+    generator = SyntheticTraceGenerator(config)
+    store = ColumnarStore.from_action_stream(generator.iter_user_actions())
+    try:
+        _save_store_cache(store, key, path)
+    except OSError:
+        pass  # read-only cache dir: generation still succeeded
+    return ColumnarDataset(store), "miss"
+
+
+def _save_store_cache(store, key: str, path: Union[str, Path]) -> None:
+    """Write a columnar store as a binary trace cache (same file format).
+
+    Byte-identical to :func:`save_trace_cache` over the equivalent
+    ``(user_id, actions)`` records: the store's flat columns are exactly
+    the cache arrays.
+    """
+    path = Path(path)
+    uids = array("i", store.uids)
+    counts = array(
+        "i",
+        (
+            store.offsets[row + 1] - store.offsets[row]
+            for row in range(len(store))
+        ),
+    )
+    header = {
+        "format": CACHE_FORMAT,
+        "version": CACHE_VERSION,
+        "key": key,
+        "num_users": len(uids),
+        "num_actions": store.num_actions,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(prefix=path.name + ".", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+            for blob in (uids, counts, store.items, store.tags):
+                handle.write(blob.tobytes())
+        os.replace(tmp_name, path)  # atomic publish
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def load_or_generate_synthetic(
     config: SyntheticConfig,
     cache_dir: Optional[Union[str, Path]] = None,

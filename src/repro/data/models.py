@@ -142,6 +142,24 @@ class UserProfile:
         profile._shared = False
         return profile
 
+    @classmethod
+    def from_columnar(cls, store, user_id: int) -> "UserProfile":
+        """Materialize a profile from a :class:`~repro.data.columnar.ColumnarStore` row.
+
+        State-identical to feeding the row's action list (stored in the
+        exact order the generator emitted it) through
+        :meth:`from_distinct_actions`: same sets with the same insertion
+        order, same version.  The columnar pipeline keeps users as flat
+        array rows until a consumer needs the object API; this is the
+        crossing point.
+        """
+        row = store.row_of(user_id)
+        if row is None:
+            raise KeyError(f"user {user_id} not in columnar store")
+        profile = cls.from_distinct_actions(user_id, store.actions_of_row(row))
+        profile._version = store.versions[row]
+        return profile
+
     def _materialize(self) -> None:
         """Replace shared index containers with private copies (COW write).
 

@@ -179,6 +179,26 @@ class DigestCache:
         #: subject user_id -> (digest_version, set-bit indices of the digest).
         self._bit_positions: Dict[int, Tuple[int, Set[int]]] = {}
         self._common: Dict[Tuple[int, int], Tuple[int, int, FrozenSet[int]]] = {}
+        #: Optional columnar digest backing: ``(DigestMatrix, ColumnarStore)``.
+        #: When a user's matrix row matches her profile version, digest
+        #: construction adopts the prebuilt byte row instead of re-ORing
+        #: per-item masks (identical bits by construction).
+        self._columnar = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach_columnar(self, matrix, store) -> None:
+        """Adopt prebuilt digest rows from a columnar digest matrix.
+
+        Only a matrix in this cache's exact geometry is accepted: adoption
+        must be bit-identical to building the digest here.
+        """
+        if matrix.num_bits != self.num_bits or matrix.num_hashes != self.num_hashes:
+            raise ValueError(
+                f"digest matrix geometry ({matrix.num_bits}, {matrix.num_hashes}) "
+                f"does not match cache geometry ({self.num_bits}, {self.num_hashes})"
+            )
+        self._columnar = (matrix, store)
 
     # -- digests --------------------------------------------------------------
 
@@ -188,10 +208,17 @@ class DigestCache:
         Building a digest also seeds its set-bit index set (the union of the
         inserted items' probe positions -- by construction identical to
         decomposing the finished bit array), so probing a cache-built digest
-        never has to walk its 20 Kbit integer.
+        never has to walk its 20 Kbit integer.  With a columnar digest
+        matrix attached, a row whose stored version matches the profile is
+        adopted wholesale (the row bytes are the same OR of the same probe
+        masks); the set-bit index set then comes from decomposing the row.
         """
         cached = self._digests.get(profile.user_id)
         if cached is None or cached.version != profile.version:
+            if self._columnar is not None:
+                adopted = self._adopt_columnar(profile)
+                if adopted is not None:
+                    return adopted
             cached = make_digest(
                 profile, num_bits=self.num_bits, num_hashes=self.num_hashes
             )
@@ -202,6 +229,25 @@ class DigestCache:
                 positions.update(probe_positions(item, num_bits, num_hashes))
             self._bit_positions[profile.user_id] = (cached.version, positions)
         return cached
+
+    def _adopt_columnar(self, profile: UserProfile) -> Optional[ProfileDigest]:
+        """Adopt the profile's prebuilt digest row, if current; else ``None``."""
+        matrix, store = self._columnar
+        row = store.row_of(profile.user_id)
+        if row is None or matrix.row_version(row) != profile.version:
+            return None
+        bloom = BloomFilter.from_state(
+            self.num_bits,
+            self.num_hashes,
+            matrix.row_bits_int(row),
+            len(profile.items),
+        )
+        digest = ProfileDigest(
+            user_id=profile.user_id, version=profile.version, bloom=bloom
+        )
+        self._digests[profile.user_id] = digest
+        self._bit_positions[profile.user_id] = (digest.version, bloom.bit_positions())
+        return digest
 
     # -- batch probing --------------------------------------------------------
 

@@ -69,8 +69,10 @@ class P3QConfig:
     #: pricing, which is bit-identical to serial for any value (see
     #: :mod:`repro.simulator.shard`).
     workers: int = 1
-    #: Executor of the sharded engine: ``"auto"`` (fork when the machine has
-    #: the cores for it, inline otherwise), ``"inline"`` or ``"fork"``.
+    #: Executor of the sharded engine: ``"auto"`` (persistent pool when the
+    #: machine has the cores for it, inline otherwise), ``"inline"``,
+    #: ``"fork"`` (re-fork every cycle) or ``"pool"`` (long-lived workers
+    #: over shared columnar state).
     engine_executor: str = "auto"
     #: When set, the traffic collector folds its raw row buffer into the
     #: aggregates every ``stats_flush_every`` cycles, bounding memory on
@@ -125,9 +127,9 @@ class P3QConfig:
         validate_fraction("free_rider_fraction", self.free_rider_fraction)
         if self.workers < 1:
             raise ValueError("workers must be positive")
-        if self.engine_executor not in ("auto", "inline", "fork"):
+        if self.engine_executor not in ("auto", "inline", "fork", "pool"):
             raise ValueError(
-                f"engine_executor must be 'auto', 'inline' or 'fork', "
+                f"engine_executor must be 'auto', 'inline', 'fork' or 'pool', "
                 f"got {self.engine_executor!r}"
             )
         if self.stats_flush_every is not None and self.stats_flush_every < 1:

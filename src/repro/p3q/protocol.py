@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
+from ..data.columnar import ColumnarDataset, ColumnarStore, DigestMatrix
 from ..data.models import ChangeDay, Dataset
 from ..data.dynamics import apply_change_day
 from ..data.queries import Query
@@ -22,6 +23,7 @@ from ..similarity.knn import IdealNetworkIndex
 from ..simulator.engine import PHASE_EAGER, PHASE_LAZY, SimulationEngine, paused_gc
 from ..simulator.shard import (
     EXECUTOR_FORK,
+    EXECUTOR_POOL,
     ShardedEngine,
     partition_shards,
     run_forked_shards,
@@ -129,8 +131,47 @@ class P3QSimulation:
                 self.free_rider_ids = frozenset(rider_rng.sample(ids, count))
                 for uid in self.free_rider_ids:
                     self.nodes[uid].free_rider = True
+        # Columnar backing.  A columnar dataset brings its store along; the
+        # persistent-pool executor needs one either way (snapshotting an
+        # object dataset if that is what we were given).  The digest matrix
+        # mirrors every user's digest bits as fixed-width rows -- in shared
+        # memory when pool workers will attach to it -- and the digest
+        # cache adopts current rows instead of rebuilding filters.
+        self.columnar_store: Optional[ColumnarStore] = (
+            dataset.store if isinstance(dataset, ColumnarDataset) else None
+        )
+        self.digest_matrix: Optional[DigestMatrix] = None
+        engine_is_pool = (
+            isinstance(self.engine, ShardedEngine)
+            and self.engine.executor == EXECUTOR_POOL
+        )
+        if engine_is_pool and self.columnar_store is None:
+            self.columnar_store = ColumnarStore.from_dataset(dataset)
+        if self.columnar_store is not None:
+            self.digest_matrix = DigestMatrix(
+                len(self.columnar_store),
+                config.digest_bits,
+                config.digest_hashes,
+                shared=engine_is_pool,
+            )
+            self.digest_cache.attach_columnar(self.digest_matrix, self.columnar_store)
+            if engine_is_pool:
+                self.engine.attach_columnar(self.columnar_store, self.digest_matrix)
+                self.engine.attach_pair_predictor(self._predict_pricing_pairs)
         self._bootstrap_rng = self.engine.rng_factory.for_purpose("bootstrap")
         self._eager_cycles_run = 0
+
+    def close(self) -> None:
+        """Release pool workers and the shared digest block (idempotent).
+
+        Safe to skip for serial runs (finalizers cover leaks); long-lived
+        benchmark processes call it between repetitions.
+        """
+        engine = self.engine
+        if isinstance(engine, ShardedEngine):
+            engine.close()
+        if self.digest_matrix is not None:
+            self.digest_matrix.close()
 
     # ------------------------------------------------------------------ setup
 
@@ -151,7 +192,7 @@ class P3QSimulation:
         so the seeded views are identical for any worker count.
         """
         count = contacts_per_node or self.config.random_view_size
-        self._parallel_digest_build()
+        self._build_digests()
         user_ids = list(self.nodes)
         total = len(user_ids)
         if total <= 1:
@@ -172,6 +213,76 @@ class P3QSimulation:
                 for j in positions
             ]
             node.bootstrap_random_view(digests)
+
+    def _build_digests(self) -> int:
+        """Population-wide digest warm-up before the bootstrap contact draws.
+
+        With a columnar digest matrix attached the digest rows are built in
+        bulk -- shard-parallel into the shared block on the pool executor,
+        vectorized in-process otherwise -- and the digest cache adopts them
+        on first use.  Without one, the fork executor's shard-parallel
+        cache warm-up runs (:meth:`_parallel_digest_build`).  Pure warm-up
+        either way: every adoption and every cache read validates versions.
+        """
+        if self.digest_matrix is not None:
+            engine = self.engine
+            if isinstance(engine, ShardedEngine) and engine.executor == EXECUTOR_POOL:
+                return engine.build_digest_rows()
+            return self.digest_matrix.build_rows(self.columnar_store)
+        return self._parallel_digest_build()
+
+    def _predict_pricing_pairs(self, acting: Iterable[int]) -> List[tuple]:
+        """Over-approximate the digest probes of the coming lazy cycle.
+
+        Mirrors the read pattern of :class:`LazyExchangeProtocol` without
+        touching any state or RNG stream:
+
+        * random-view refresh -- every view digest not yet evaluated at its
+          version and not already a personal-network member;
+        * the symmetric exchange with ``select_oldest()`` (a pure min, no
+          RNG): both directions of the partners' advertised digest sets
+          (own digest + all stored entries -- a superset of the
+          ``exchange_size`` sample, which *does* draw RNG and is therefore
+          not replayed here).
+
+        The random-partner fallback of nodes with empty personal networks
+        draws RNG and is deliberately not predicted; those pairs are priced
+        serially.  Over-predicted pairs are priced into version-validated
+        memo slots -- inert unless the cycle actually probes them.
+        """
+        nodes = self.nodes
+        evaluated_map = self.lazy._evaluated
+        pairs: List[tuple] = []
+        append = pairs.append
+        for user_id in acting:
+            node = nodes.get(user_id)
+            if node is None:
+                continue
+            personal = node.personal_network
+            evaluated = evaluated_map.get(user_id)
+            for digest in node.random_view.digests():
+                subject_id = digest.user_id
+                if (
+                    evaluated is not None
+                    and evaluated.get(subject_id, -1) >= digest.version
+                ):
+                    continue
+                if subject_id in personal:
+                    continue
+                append((user_id, subject_id))
+            partner_id = personal.select_oldest()
+            if partner_id is None or partner_id not in nodes:
+                continue
+            partner = nodes[partner_id]
+            append((user_id, partner_id))
+            append((partner_id, user_id))
+            for entry in partner.personal_network.stored_entries():
+                if entry.user_id != user_id:
+                    append((user_id, entry.user_id))
+            for entry in personal.stored_entries():
+                if entry.user_id != partner_id:
+                    append((partner_id, entry.user_id))
+        return pairs
 
     def _parallel_digest_build(self) -> int:
         """Shard-parallel digest construction for the whole population.

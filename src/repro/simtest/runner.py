@@ -110,9 +110,11 @@ def build_simulation(spec: ScenarioSpec) -> P3QSimulation:
         asymmetry=spec.asymmetry,
         free_rider_fraction=spec.free_rider_fraction,
         workers=spec.workers,
-        # Fuzzing must exercise the real fork path even on one-core CI
-        # runners, where "auto" would (correctly) fall back to inline.
-        engine_executor="fork" if spec.workers > 1 else "auto",
+        # Fuzzing must exercise the real multi-process path even on
+        # one-core CI runners, where "auto" would (correctly) fall back to
+        # inline.  The spec picks fork (re-fork per cycle) or pool
+        # (persistent workers over shared columnar state).
+        engine_executor=spec.engine_executor if spec.workers > 1 else "auto",
     )
     simulation = P3QSimulation(dataset, config)
     # Ground-truth community membership, inverted for the correlated-churn

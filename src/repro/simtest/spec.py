@@ -162,9 +162,13 @@ class ScenarioSpec:
     free_rider_fraction: float = 0.0
 
     #: Worker count of the sharded cycle engine (1 = serial reference).  A
-    #: spec with ``workers > 1`` runs the real fork executor and the runner
-    #: cross-checks its fingerprint against the serial twin.
+    #: spec with ``workers > 1`` runs the real multi-process executor and
+    #: the runner cross-checks its fingerprint against the serial twin.
     workers: int = 1
+    #: Executor of the sharded engine when ``workers > 1``: ``"fork"``
+    #: (re-fork every cycle) or ``"pool"`` (persistent workers over shared
+    #: columnar state).  Both must fingerprint-match the serial twin.
+    engine_executor: str = "fork"
 
     # -- schedule -------------------------------------------------------------
     lazy_cycles: int = 6
@@ -237,6 +241,10 @@ class ScenarioSpec:
         validate_fraction("free_rider_fraction", self.free_rider_fraction)
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.engine_executor not in ("fork", "pool"):
+            raise ValueError(
+                f"engine_executor must be 'fork' or 'pool', got {self.engine_executor!r}"
+            )
 
     # -- derived views --------------------------------------------------------
 
@@ -294,7 +302,7 @@ class ScenarioSpec:
         if self.dynamics is not None:
             parts.append("dynamics")
         if self.workers > 1:
-            parts.append(f"workers={self.workers}")
+            parts.append(f"workers={self.workers}({self.engine_executor})")
         return " ".join(parts)
 
     # -- serialisation --------------------------------------------------------
@@ -507,10 +515,14 @@ class ScenarioGenerator:
         # Worker-count dimension from an independent stream (same pattern as
         # the large-N override: the main scenario stream is untouched).
         workers = 1
+        engine_executor = "fork"
         if r.p_workers > 0.0 and r.worker_choices:
             worker_rng = derive_rng(self.master_seed, "simtest", "workers", index)
             if worker_rng.random() < r.p_workers:
                 workers = worker_rng.choice(r.worker_choices)
+                # Fork and pool executors are both pinned bit-identical to
+                # the serial twin; fuzz alternates between them.
+                engine_executor = worker_rng.choice(("fork", "pool"))
 
         # Adversarial dimensions, one independent stream each.
         partition = self._sample_partition(index, lazy_cycles + eager_cycles)
@@ -551,6 +563,7 @@ class ScenarioGenerator:
             asymmetry=asymmetry,
             free_rider_fraction=free_rider_fraction,
             workers=workers,
+            engine_executor=engine_executor,
             lazy_cycles=lazy_cycles,
             eager_cycles=eager_cycles,
             num_queries=num_queries,

@@ -40,6 +40,21 @@ which cache entries are pre-warmed, and the apply phase is the serial
 reference schedule regardless.  ``workers=1`` (or the inline executor) is
 *literally* the serial engine.
 
+Two executors implement the barrier:
+
+* ``fork`` re-forks the whole simulation every cycle -- the fork IS the
+  snapshot.  Correct and simple, but the per-cycle fork cost grows with
+  the heap.
+* ``pool`` (the default resolution of ``auto`` on multi-core machines)
+  keeps **persistent worker processes** attached once to shared columnar
+  state (:mod:`repro.data.columnar`): the parent predicts the coming
+  cycle's ``(receiver, subject)`` digest probes, ships them with the
+  cycle's profile-delta set over per-worker queues, and installs the
+  version-tagged replies -- see :mod:`repro.simulator.pool`.  Predicted
+  pairs are an over-approximation and every installed entry is validated
+  on read, so the same merge-barrier contract applies unchanged: the
+  barrier is a cache warm-up, the apply phase is the serial schedule.
+
 Executor selection is honest about the hardware: with fewer than two CPU
 cores (or on platforms without ``fork``) speculative pricing cannot pay for
 itself, so ``executor="auto"`` degrades to the inline pass-through and the
@@ -59,6 +74,7 @@ from .network import Network
 #: Executor names.
 EXECUTOR_INLINE = "inline"
 EXECUTOR_FORK = "fork"
+EXECUTOR_POOL = "pool"
 EXECUTOR_AUTO = "auto"
 
 #: Module-level slot the forked workers read their work from: ``(worker_fn,
@@ -125,13 +141,15 @@ def _fork_supported() -> bool:
 def resolve_executor(requested: str, workers: int) -> str:
     """The executor actually used for ``workers`` on this machine.
 
-    ``auto`` picks ``fork`` only when it can plausibly help: more than one
-    worker, a machine with at least two CPU cores, and a platform with
-    ``fork``.  An explicit ``fork`` request is honoured whenever the
-    platform supports it (tests force it on single-core machines to
-    exercise the real code path).
+    ``auto`` picks a parallel executor only when it can plausibly help:
+    more than one worker, a machine with at least two CPU cores, and a
+    platform with ``fork`` -- and then prefers the persistent ``pool``
+    (attach-once workers) over the per-cycle ``fork``.  An explicit
+    ``fork`` or ``pool`` request is honoured whenever the platform
+    supports it (tests force them on single-core machines to exercise the
+    real code paths).
     """
-    if requested not in (EXECUTOR_AUTO, EXECUTOR_INLINE, EXECUTOR_FORK):
+    if requested not in (EXECUTOR_AUTO, EXECUTOR_INLINE, EXECUTOR_FORK, EXECUTOR_POOL):
         raise ValueError(f"unknown executor {requested!r}")
     if workers <= 1:
         return EXECUTOR_INLINE
@@ -139,9 +157,9 @@ def resolve_executor(requested: str, workers: int) -> str:
         return EXECUTOR_INLINE
     if not _fork_supported():
         return EXECUTOR_INLINE
-    if requested == EXECUTOR_FORK:
-        return EXECUTOR_FORK
-    return EXECUTOR_FORK if (os.cpu_count() or 1) >= 2 else EXECUTOR_INLINE
+    if requested in (EXECUTOR_FORK, EXECUTOR_POOL):
+        return requested
+    return EXECUTOR_POOL if (os.cpu_count() or 1) >= 2 else EXECUTOR_INLINE
 
 
 def _price_shard(engine: "ShardedEngine", shard_index: int) -> Tuple[int, List]:
@@ -195,12 +213,22 @@ class ShardedEngine(SimulationEngine):
         self._pricing_phases = {PHASE_LAZY}
         self._pricing_phase: str = PHASE_LAZY
         self._current_shards: List[Tuple[int, ...]] = []
+        #: Persistent-pool state (pool executor only): columnar backing,
+        #: long-lived workers, the pair predictor and the delta bookkeeping.
+        self._columnar_store = None
+        self._digest_matrix = None
+        self._pool = None
+        self._pair_predictor = None
+        self._pool_dirty: set = set()
+        self._shipped_versions: Dict[int, int] = {}
         #: Cumulative barrier statistics (exposed for tests and benchmarks).
         self.pricing_stats: Dict[str, int] = {
             "cycles_priced": 0,
             "entries_recorded": 0,
             "entries_installed": 0,
             "worker_failures": 0,
+            "pool_barriers": 0,
+            "pairs_predicted": 0,
         }
 
     # -- wiring ---------------------------------------------------------------
@@ -209,15 +237,42 @@ class ShardedEngine(SimulationEngine):
         """Bind the shared digest cache the merge barrier installs into."""
         self._pricing_cache = digest_cache
 
+    def attach_columnar(self, store, matrix) -> None:
+        """Bind the columnar state the persistent pool workers attach to.
+
+        Also subscribes to the network's dirty-profile flush: changed
+        profiles accumulate here and travel to the workers as the next
+        barrier's delta set.
+        """
+        self._columnar_store = store
+        self._digest_matrix = matrix
+        self.network.add_profile_dirty_listener(self._note_profiles_dirty)
+
+    def attach_pair_predictor(self, predictor: Callable) -> None:
+        """Bind the protocol-level ``acting -> [(receiver, subject)]`` oracle.
+
+        The predictor must over-approximate the digest probes the coming
+        cycle can perform without consuming any protocol RNG; mispredicted
+        pairs are inert (version-validated on read), missed pairs are
+        merely priced serially.
+        """
+        self._pair_predictor = predictor
+
+    def _note_profiles_dirty(self, user_ids) -> None:
+        self._pool_dirty.update(user_ids)
+
     # -- execution ------------------------------------------------------------
 
     def run_cycle(self, phase: str = PHASE_LAZY, participants=None) -> int:
-        if (
-            self.executor == EXECUTOR_FORK
-            and self._pricing_cache is not None
-            and phase in self._pricing_phases
-        ):
-            self._pricing_barrier(phase, participants)
+        if self._pricing_cache is not None and phase in self._pricing_phases:
+            if self.executor == EXECUTOR_FORK:
+                self._pricing_barrier(phase, participants)
+            elif (
+                self.executor == EXECUTOR_POOL
+                and self._pair_predictor is not None
+                and self._columnar_store is not None
+            ):
+                self._pool_pricing_barrier(phase, participants)
         return super().run_cycle(phase=phase, participants=participants)
 
     def _pricing_barrier(self, phase: str, participants) -> None:
@@ -246,3 +301,142 @@ class ShardedEngine(SimulationEngine):
             stats["entries_installed"] += self._pricing_cache.install_common_entries(
                 entries
             )
+
+    # -- persistent-pool barrier ----------------------------------------------
+
+    def _pool_pricing_barrier(self, phase: str, participants) -> None:
+        """Predict the cycle's digest probes, price them on the pool, install.
+
+        No snapshot is taken: the parent enumerates (through the attached
+        predictor) an over-approximation of the ``(receiver, subject)``
+        pairs the serial apply phase can price, ships them -- together with
+        the profile deltas accumulated since the last barrier -- to the
+        persistent workers, and installs the version-tagged replies in
+        shard-index order.  Everything installed is validated on read, so
+        the barrier obeys the same contract as the fork executor's:
+        worker count changes which entries are pre-warmed, never what any
+        cycle computes.
+        """
+        if participants is None:
+            acting = self.network.online_ids()
+        else:
+            acting = [nid for nid in participants if self.network.is_online(nid)]
+        if len(acting) < self.workers:
+            return
+        pairs = self._pair_predictor(acting)
+        if not pairs:
+            return
+        pool = self._ensure_pool()
+        if pool is None:
+            return
+        cycle_index = self.cycle_counts.get(phase, 0)
+        deltas = self._collect_deltas()
+        # Unique pairs, grouped by subject so each worker's digest-row cache
+        # sees every probe of a subject; subjects round-robin over shards --
+        # a pure function of the pair set, like partition_shards.
+        unique_pairs = sorted(set(pairs))
+        shard_of: Dict[int, int] = {}
+        workers = self.workers
+        for _receiver, subject in unique_pairs:
+            if subject not in shard_of:
+                shard_of[subject] = len(shard_of) % workers
+        shard_pairs: List[List[Tuple[int, int]]] = [[] for _ in range(workers)]
+        for pair in unique_pairs:
+            shard_pairs[shard_of[pair[1]]].append(pair)
+
+        shard_entries = pool.price(cycle_index, shard_pairs, deltas)
+
+        stats = self.pricing_stats
+        stats["cycles_priced"] += 1
+        stats["pool_barriers"] += 1
+        stats["pairs_predicted"] += len(unique_pairs)
+        for entries in shard_entries:
+            stats["entries_recorded"] += len(entries)
+            stats["entries_installed"] += self._pricing_cache.install_common_entries(
+                entries
+            )
+
+    def _collect_deltas(self) -> List[Tuple[int, int, Tuple[int, ...]]]:
+        """Drain the dirty bookkeeping into the barrier's delta list.
+
+        Covers both the listener-accumulated set (flushed at past cycle
+        boundaries) and the network's still-pending set (changes applied
+        since the last boundary, e.g. a change day between cycles).  Each
+        shipped delta also refreshes the user's digest row in the shared
+        matrix -- parent and workers see the same subject bits -- and is
+        deduplicated per version so repeated flushes of one change ship
+        once.
+        """
+        dirty = self._pool_dirty | set(self.network.pending_dirty_profiles())
+        self._pool_dirty.clear()
+        if not dirty:
+            return []
+        store = self._columnar_store
+        matrix = self._digest_matrix
+        shipped = self._shipped_versions
+        network = self.network
+        deltas: List[Tuple[int, int, Tuple[int, ...]]] = []
+        for user_id in sorted(dirty):
+            if user_id not in network:
+                continue
+            profile = getattr(network.node(user_id), "profile", None)
+            if profile is None:
+                continue
+            version = profile.version
+            if shipped.get(user_id) == version:
+                continue
+            row = store.row_of(user_id)
+            if row is None:
+                continue
+            items = tuple(profile.items)
+            matrix.set_row_from_items(row, items, version)
+            shipped[user_id] = version
+            deltas.append((user_id, version, items))
+        return deltas
+
+    def _ensure_pool(self):
+        """The persistent pool, forked on first use (attach-once)."""
+        if self._pool is None and self._columnar_store is not None:
+            from .pool import PersistentShardPool
+
+            try:
+                self._pool = PersistentShardPool(
+                    self._columnar_store, self._digest_matrix, self.workers
+                )
+            except Exception:
+                self.pricing_stats["worker_failures"] += 1
+                return None
+        return self._pool
+
+    def build_digest_rows(self) -> int:
+        """Build every digest row of the attached matrix (bootstrap warm-up).
+
+        Shard-parallel on the persistent pool when it pays (the rows land
+        directly in the shared block; the reply barrier is the memory
+        fence), serial vectorized otherwise.  Pure warm-up either way:
+        row adoption validates versions on every read.
+        """
+        matrix = self._digest_matrix
+        store = self._columnar_store
+        if matrix is None or store is None:
+            return 0
+        if self.executor == EXECUTOR_POOL and len(store) >= 4 * self.workers:
+            pool = self._ensure_pool()
+            if pool is not None:
+                from .pool import ShardWorkerError, contiguous_row_slabs
+
+                try:
+                    return pool.build_rows(
+                        contiguous_row_slabs(len(store), self.workers)
+                    )
+                except ShardWorkerError:
+                    self.pricing_stats["worker_failures"] += 1
+        return matrix.build_rows(store)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the persistent workers, if any (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None

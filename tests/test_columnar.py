@@ -1,0 +1,234 @@
+"""Columnar node state: store, digest matrix, zero-copy object crossing.
+
+The contract under test (see ``repro/data/columnar.py``) is that the
+columnar representation is an *encoding*, never a behaviour change:
+
+* a :class:`ColumnarStore` holds exactly the action lists the generator
+  emitted (same order, same distinct-item sequence, same versions);
+* :class:`DigestMatrix` rows are byte-identical to ``BloomFilter``s built
+  item by item, and probing a row with the memoized masks answers exactly
+  ``item in bloom``;
+* :meth:`UserProfile.from_columnar` / :meth:`BloomFilter.from_columnar`
+  reproduce the object pipeline bit for bit, so a :class:`ColumnarDataset`
+  is indistinguishable from the object dataset it replaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bloom import BloomFilter
+from repro.data import (
+    ColumnarDataset,
+    ColumnarStore,
+    DigestMatrix,
+    SyntheticConfig,
+    SyntheticTraceGenerator,
+    UserProfile,
+    generate_dataset,
+)
+from repro.data.columnar import geometry_mask_cache, mask_int
+
+CONFIG = SyntheticConfig(
+    num_users=40,
+    num_items=260,
+    num_tags=80,
+    num_communities=4,
+    mean_actions_per_user=18,
+    seed=23,
+)
+
+BITS, HASHES = 1_024, 4
+
+
+@pytest.fixture(scope="module")
+def store() -> ColumnarStore:
+    generator = SyntheticTraceGenerator(CONFIG)
+    return ColumnarStore.from_action_stream(generator.iter_user_actions())
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(CONFIG)
+
+
+# ------------------------------------------------------------------- the store
+
+
+class TestColumnarStore:
+    def test_rows_mirror_the_generated_action_lists(self, store, dataset):
+        assert len(store) == len(dataset)
+        raw = dict(SyntheticTraceGenerator(CONFIG).iter_user_actions())
+        for row, uid in store.iter_rows():
+            profile = dataset.profile(uid)
+            # Stored order is the exact generation order; the profile's set
+            # holds the same actions (its own iteration order is pinned by
+            # the from_columnar crossing test below).
+            assert store.actions_of_row(row) == raw[uid]
+            assert set(store.actions_of_row(row)) == set(profile)
+            assert store.versions[row] == profile.version
+
+    def test_distinct_items_keep_first_seen_order(self, store):
+        for row in range(len(store)):
+            seen = []
+            for item, _tag in store.actions_of_row(row):
+                if item not in seen:
+                    seen.append(item)
+            assert list(store.distinct_items_of_row(row)) == seen
+
+    def test_row_of_dense_and_sparse_ids(self):
+        dense = ColumnarStore.from_action_stream([(0, [(1, 2)]), (1, [(3, 4)])])
+        assert dense.row_of(1) == 1
+        assert dense.row_of(7) is None
+        sparse = ColumnarStore.from_action_stream([(5, [(1, 2)]), (90, [(3, 4)])])
+        assert sparse.row_of(5) == 0
+        assert sparse.row_of(90) == 1
+        assert sparse.row_of(0) is None
+
+    def test_from_dataset_snapshots_live_versions(self, dataset):
+        snapshot = ColumnarStore.from_dataset(dataset)
+        for row, uid in snapshot.iter_rows():
+            assert snapshot.versions[row] == dataset.profile(uid).version
+
+    def test_max_item_tracks_the_universe(self, store, dataset):
+        assert store.max_item == max(
+            item for p in dataset.profiles() for item, _tag in p
+        )
+        assert ColumnarStore().max_item == -1
+
+    def test_from_cache_arrays_equals_streaming_construction(self, store):
+        uids = list(store.uids)
+        counts = [
+            store.offsets[row + 1] - store.offsets[row] for row in range(len(store))
+        ]
+        adopted = ColumnarStore.from_cache_arrays(
+            uids, counts, store.items, store.tags
+        )
+        assert list(adopted.uids) == uids
+        for row in range(len(store)):
+            assert adopted.actions_of_row(row) == store.actions_of_row(row)
+            assert list(adopted.distinct_items_of_row(row)) == list(
+                store.distinct_items_of_row(row)
+            )
+            assert adopted.versions[row] == store.versions[row]
+
+
+# ----------------------------------------------------------------- probe masks
+
+
+class TestProbeMasks:
+    def test_mask_int_matches_bloom_membership(self, store):
+        bloom = BloomFilter(num_bits=BITS, num_hashes=HASHES)
+        members = list(store.distinct_items_of_row(0))
+        for item in members:
+            bloom.add(item)
+        for item in range(300):
+            mask = mask_int(item, BITS, HASHES)
+            assert (bloom.raw_bits & mask == mask) == (item in bloom)
+
+    def test_geometry_cache_is_filled_by_mask_int(self):
+        cache = geometry_mask_cache(BITS, HASHES)
+        value = mask_int(123_456, BITS, HASHES)
+        assert cache[123_456] == value
+
+
+# --------------------------------------------------------------- digest matrix
+
+
+class TestDigestMatrix:
+    def test_rows_are_byte_identical_to_object_filters(self, store):
+        matrix = DigestMatrix(len(store), BITS, HASHES)
+        assert matrix.build_rows(store) == len(store)
+        for row in range(len(store)):
+            bloom = BloomFilter.from_items(
+                store.distinct_items_of_row(row), num_bits=BITS, num_hashes=HASHES
+            )
+            assert matrix.row_bits_int(row) == bloom.raw_bits
+            assert matrix.row_bytes_of(row) == bloom.raw_bits.to_bytes(
+                matrix.row_bytes, "little"
+            )
+            assert matrix.row_version(row) == store.versions[row]
+
+    def test_unbuilt_rows_carry_version_minus_one(self, store):
+        matrix = DigestMatrix(len(store), BITS, HASHES)
+        assert matrix.built_count() == 0
+        assert matrix.build_rows(store, rows=[0, 2]) == 2
+        assert matrix.row_version(0) >= 0
+        assert matrix.row_version(1) == -1
+        assert matrix.built_count() == 2
+
+    def test_set_row_from_items_rebuilds_in_place(self, store):
+        matrix = DigestMatrix(len(store), BITS, HASHES)
+        matrix.build_rows(store)
+        matrix.set_row_from_items(3, [1, 2, 3], version=99)
+        expected = BloomFilter.from_items([1, 2, 3], num_bits=BITS, num_hashes=HASHES)
+        assert matrix.row_bits_int(3) == expected.raw_bits
+        assert matrix.row_version(3) == 99
+
+    def test_shared_matrix_same_bytes_and_clean_close(self, store):
+        local = DigestMatrix(len(store), BITS, HASHES)
+        shared = DigestMatrix(len(store), BITS, HASHES, shared=True)
+        try:
+            local.build_rows(store)
+            shared.build_rows(store)
+            for row in range(len(store)):
+                assert shared.row_bytes_of(row) == local.row_bytes_of(row)
+        finally:
+            shared.close()
+            shared.close()  # idempotent
+
+    def test_from_columnar_filter_probes_like_the_original(self, store):
+        matrix = DigestMatrix(len(store), BITS, HASHES)
+        matrix.build_rows(store)
+        row = 5
+        items = list(store.distinct_items_of_row(row))
+        bloom = BloomFilter.from_columnar(
+            BITS, HASHES, matrix.row_bytes_of(row), len(items)
+        )
+        reference = BloomFilter.from_items(items, num_bits=BITS, num_hashes=HASHES)
+        assert bloom.raw_bits == reference.raw_bits
+        assert bloom.approximate_count == len(items)
+        assert all(item in bloom for item in items)
+
+
+# ------------------------------------------------------------- object crossing
+
+
+class TestObjectCrossing:
+    def test_profile_from_columnar_is_state_identical(self, store, dataset):
+        for uid in dataset.user_ids:
+            reference = dataset.profile(uid)
+            materialized = UserProfile.from_columnar(store, uid)
+            # Order-sensitive: set iteration order is what downstream
+            # deterministic runs observe.
+            assert list(materialized) == list(reference)
+            assert materialized.version == reference.version
+
+    def test_profile_from_columnar_unknown_user(self, store):
+        with pytest.raises(KeyError):
+            UserProfile.from_columnar(store, 10_000)
+
+    def test_columnar_dataset_equals_object_dataset(self, store, dataset):
+        columnar = ColumnarDataset(store)
+        assert len(columnar) == len(dataset)
+        assert columnar.user_ids == dataset.user_ids
+        assert 0 in columnar and 10_000 not in columnar
+        fingerprint = [(p.user_id, list(p), p.version) for p in columnar.profiles()]
+        reference = [(p.user_id, list(p), p.version) for p in dataset.profiles()]
+        assert fingerprint == reference
+
+    def test_columnar_dataset_materializes_lazily(self, store):
+        columnar = ColumnarDataset(store)
+        assert not columnar._profiles
+        columnar.profile(0)
+        assert set(columnar._profiles) == {0}
+
+    def test_copy_preserves_materialized_divergence(self, store):
+        columnar = ColumnarDataset(store)
+        profile = columnar.profile(0)
+        profile.add(9_999, 1)
+        clone = columnar.copy()
+        assert list(clone.profile(0)) == list(profile)
+        assert clone.profile(0) is not profile
+        # Untouched users stay columnar in the clone.
+        assert set(clone._profiles) == {0}

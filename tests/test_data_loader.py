@@ -159,3 +159,95 @@ class TestSyntheticDatasetCache:
         hit, status = load_or_generate_synthetic(config, tmp_path)
         assert status == "hit"
         assert run(missed) == run(hit)
+
+
+class TestColumnarDatasetCache:
+    """The same spec-hash cache feeding the columnar load path.
+
+    Pins the three properties the large-N setup pipeline rests on: the
+    columnar and object load paths have equal dataset fingerprints (miss
+    *and* hit), a corrupted cache file regenerates instead of crashing, and
+    a generator-source change invalidates the key so stale traces are never
+    adopted.
+    """
+
+    CONFIG_KW = TestSyntheticDatasetCache.CONFIG_KW
+
+    def _fingerprint(self, dataset):
+        return [(p.user_id, list(p), p.version) for p in dataset.profiles()]
+
+    def test_columnar_equals_object_path_on_miss_and_hit(self, tmp_path):
+        from repro.data import (
+            SyntheticConfig,
+            load_or_generate_columnar,
+            load_or_generate_synthetic,
+        )
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        reference, _ = load_or_generate_synthetic(config, None)
+        expected = self._fingerprint(reference)
+
+        missed, status1 = load_or_generate_columnar(config, tmp_path)
+        hit, status2 = load_or_generate_columnar(config, tmp_path)
+        assert (status1, status2) == ("miss", "hit")
+        assert self._fingerprint(missed) == expected
+        assert self._fingerprint(hit) == expected
+
+    def test_columnar_hit_adopts_the_object_paths_cache_file(self, tmp_path):
+        """One cache file serves both load paths: the layout is shared."""
+        from repro.data import (
+            SyntheticConfig,
+            load_or_generate_columnar,
+            load_or_generate_synthetic,
+        )
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        reference, status1 = load_or_generate_synthetic(config, tmp_path)
+        columnar, status2 = load_or_generate_columnar(config, tmp_path)
+        assert (status1, status2) == ("miss", "hit")
+        assert self._fingerprint(columnar) == self._fingerprint(reference)
+
+    def test_corrupt_cache_falls_back_to_generation(self, tmp_path):
+        from repro.data import SyntheticConfig, load_or_generate_columnar
+        from repro.data.loader import synthetic_cache_path
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        reference, _ = load_or_generate_columnar(config, tmp_path)
+        synthetic_cache_path(config, tmp_path).write_bytes(b"garbage")
+        dataset, status = load_or_generate_columnar(config, tmp_path)
+        assert status == "miss"
+        assert self._fingerprint(dataset) == self._fingerprint(reference)
+
+    def test_truncated_cache_falls_back_to_generation(self, tmp_path):
+        """A partially written file (valid header, short body) regenerates."""
+        from repro.data import SyntheticConfig, load_or_generate_columnar
+        from repro.data.loader import synthetic_cache_path
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        reference, _ = load_or_generate_columnar(config, tmp_path)
+        path = synthetic_cache_path(config, tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        dataset, status = load_or_generate_columnar(config, tmp_path)
+        assert status == "miss"
+        assert self._fingerprint(dataset) == self._fingerprint(reference)
+
+    def test_generator_source_change_invalidates_the_key(self, tmp_path, monkeypatch):
+        """The cache key embeds the generator fingerprint: bumping it (what a
+        generator-source change does) must miss instead of adopting a trace
+        the current source would not produce."""
+        import repro.data.loader as loader_module
+        from repro.data import SyntheticConfig, load_or_generate_columnar
+
+        config = SyntheticConfig(**self.CONFIG_KW)
+        _, status1 = load_or_generate_columnar(config, tmp_path)
+        assert status1 == "miss"
+        old_key = loader_module.synthetic_cache_key(config)
+        monkeypatch.setattr(
+            loader_module, "GENERATOR_FINGERPRINT", "synthetic-trace-v999"
+        )
+        assert loader_module.synthetic_cache_key(config) != old_key
+        _, status2 = load_or_generate_columnar(config, tmp_path)
+        assert status2 == "miss"
+        _, status3 = load_or_generate_columnar(config, tmp_path)
+        assert status3 == "hit"

@@ -1,15 +1,19 @@
 """Schema tests for the perf harness report (``benchmarks.perf``).
 
-These pin the v3 report contract: macro entries must report
-``setup_seconds`` separately from the timed cycle loops (cycles/sec
-measures cycles only), declare how the eager phase was warmed, and carry
-the per-repeat rate samples behind the headline rate together with the
-statistic (median with >= 3 repeats, best otherwise) that produced it; the
-scale-smoke gate must return a complete, budget-checked timing breakdown.
+These pin the v4 report contract: everything v3 required -- macro entries
+report ``setup_seconds`` separately from the timed cycle loops, declare how
+the eager phase was warmed, and carry the per-repeat rate samples behind
+the headline rate together with the statistic that produced it -- plus the
+executor dimension: every macro entry names the engine executor that
+actually ran (``inline``/``fork``/``pool``) and its pool-reuse count,
+optional per-phase peak-RSS breakdowns validate as positive byte counts,
+and the new ``columnar`` / ``worker_scaling`` sections carry positive
+throughput rates.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -46,6 +50,8 @@ def _valid_report() -> dict:
                 "rate_stat": "median",
                 "setup_seconds": 0.5,
                 "eager_warm": "ideal",
+                "engine_executor": "inline",
+                "pool_reuse_count": 0,
             },
             "10000": {
                 "num_nodes": 10000,
@@ -56,7 +62,30 @@ def _valid_report() -> dict:
                 "rate_stat": "median",
                 "setup_seconds": 12.0,
                 "eager_warm": "lazy",
+                "engine_executor": "pool",
+                "pool_reuse_count": 6,
+                "peak_rss_bytes": {"dataset": 100_000_000, "lazy": 150_000_000},
             },
+        },
+        "columnar": {
+            "10000": {
+                "build_rows_per_sec": 9e4,
+                "object_build_rows_per_sec": 8e4,
+                "build_speedup": 1.1,
+                "probe_ops_per_sec": 1.2e6,
+                "object_probe_ops_per_sec": 1.1e6,
+                "probe_speedup": 1.05,
+            }
+        },
+        "worker_scaling": {
+            "10000": {
+                "workers": 2,
+                "engine_executor": "pool",
+                "serial_lazy_cycles_per_sec": 0.2,
+                "sharded_lazy_cycles_per_sec": 0.3,
+                "speedup": 1.5,
+                "pool_reuse_count": 2,
+            }
         },
     }
 
@@ -65,8 +94,8 @@ class TestValidateReportV3:
     def test_valid_report_passes(self):
         assert validate_report(_valid_report()) == []
 
-    def test_schema_version_is_3(self):
-        assert SCHEMA_VERSION == 3
+    def test_schema_version_is_4(self):
+        assert SCHEMA_VERSION == 4
 
     def test_missing_rate_stat_rejected(self):
         report = _valid_report()
@@ -103,6 +132,116 @@ class TestValidateReportV3:
         report = _valid_report()
         report["macro"]["100"]["lazy_cycles_per_sec"] = 0
         assert any("lazy_cycles_per_sec" in p for p in validate_report(report))
+
+
+class TestValidateReportV4:
+    """The executor dimension: every macro entry says what actually ran."""
+
+    def test_missing_engine_executor_rejected(self):
+        report = _valid_report()
+        del report["macro"]["100"]["engine_executor"]
+        assert any("engine_executor" in p for p in validate_report(report))
+
+    def test_unknown_engine_executor_rejected(self):
+        report = _valid_report()
+        report["macro"]["100"]["engine_executor"] = "threads"
+        assert any("engine_executor" in p for p in validate_report(report))
+
+    def test_missing_pool_reuse_count_rejected(self):
+        report = _valid_report()
+        del report["macro"]["100"]["pool_reuse_count"]
+        assert any("pool_reuse_count" in p for p in validate_report(report))
+
+    def test_negative_pool_reuse_count_rejected(self):
+        report = _valid_report()
+        report["macro"]["10000"]["pool_reuse_count"] = -1
+        assert any("pool_reuse_count" in p for p in validate_report(report))
+
+    def test_peak_rss_is_optional(self):
+        report = _valid_report()
+        del report["macro"]["10000"]["peak_rss_bytes"]
+        assert validate_report(report) == []
+
+    def test_malformed_peak_rss_rejected(self):
+        report = _valid_report()
+        report["macro"]["10000"]["peak_rss_bytes"] = {"lazy": -5}
+        assert any("peak_rss_bytes" in p for p in validate_report(report))
+        report["macro"]["10000"]["peak_rss_bytes"] = "big"
+        assert any("peak_rss_bytes" in p for p in validate_report(report))
+
+    def test_columnar_section_is_optional_but_validated(self):
+        report = _valid_report()
+        del report["columnar"]
+        assert validate_report(report) == []
+        report = _valid_report()
+        report["columnar"]["10000"]["probe_ops_per_sec"] = 0
+        assert any("probe_ops_per_sec" in p for p in validate_report(report))
+        report = _valid_report()
+        report["columnar"] = {}
+        assert any("columnar" in p for p in validate_report(report))
+
+    def test_worker_scaling_section_is_optional_but_validated(self):
+        report = _valid_report()
+        del report["worker_scaling"]
+        assert validate_report(report) == []
+        report = _valid_report()
+        report["worker_scaling"]["10000"]["speedup"] = 0
+        assert any("speedup" in p for p in validate_report(report))
+        report = _valid_report()
+        report["worker_scaling"]["10000"]["engine_executor"] = "magic"
+        assert any("worker_scaling" in p and "engine_executor" in p
+                   for p in validate_report(report))
+
+    def test_quick_suite_produces_a_valid_v4_report(self):
+        from benchmarks.perf import run_suite
+
+        report = run_suite(quick=True)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert validate_report(report) == []
+        assert isinstance(report["cpu_count"], int) and report["cpu_count"] >= 1
+        for entry in report["macro"].values():
+            assert entry["engine_executor"] in ("inline", "fork", "pool")
+            assert entry["pool_reuse_count"] >= 0
+        assert report["columnar"]  # quick runs include the micro-benchmark
+
+
+class TestRequireExecutor:
+    """CI guard: requested parallelism must not silently degrade to inline."""
+
+    def test_suite_path_fails_fast_on_degradation(self):
+        from benchmarks.perf.harness import main
+
+        # Explicit inline can never satisfy a 'fork' requirement, on any
+        # runner -- the check fires before the suite runs.
+        assert main(["--workers", "2", "--executor", "inline",
+                     "--require-executor", "fork"]) == 2
+
+    def test_scale_smoke_reports_resolved_executor_and_fails(self, capsys):
+        from benchmarks.perf.harness import main
+
+        code = main([
+            "--scale-smoke", "30", "--workers", "2",
+            "--executor", "inline", "--require-executor", "pool",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "executor requirement FAILED" in captured.err
+        assert "resolved to 'inline'" in captured.err
+
+    def test_satisfied_requirement_passes(self, tmp_path):
+        from benchmarks.perf.harness import main
+
+        fragment = tmp_path / "fragment.json"
+        code = main([
+            "--scale-smoke", "30", "--workers", "1",
+            "--require-executor", "inline",
+            "--fragment-output", str(fragment),
+        ])
+        assert code == 0
+        payload = json.loads(fragment.read_text(encoding="utf-8"))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["scale_smoke"]["num_nodes"] == 30
+        assert payload["scale_smoke"]["engine_executor"] == "inline"
 
 
 class TestMacroSetupSplit:

@@ -317,7 +317,8 @@ class TestSpecWorkersDimension:
         for index in range(30):
             a = with_dim.spec(index)
             b = without.spec(index)
-            assert a.but(workers=1) == b
+            # workers AND the executor choice belong to the dimension.
+            assert a.but(workers=1, engine_executor="fork") == b
 
     def test_generator_samples_workers_eventually(self):
         generator = ScenarioGenerator(master_seed=5)
