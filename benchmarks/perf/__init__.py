@@ -34,6 +34,7 @@ from .harness import (  # noqa: E402
     bench_digest,
     bench_macro,
     bench_scale_smoke,
+    bench_serving,
     bench_similarity,
     compare_reports,
     main,
@@ -49,6 +50,7 @@ __all__ = [
     "bench_digest",
     "bench_macro",
     "bench_scale_smoke",
+    "bench_serving",
     "bench_similarity",
     "compare_reports",
     "main",

@@ -27,6 +27,15 @@ count on sharded entries, the ``columnar`` micro section, and the optional
 a silent executor degradation (requested workers resolving to the inline
 pass-through) into a hard failure -- CI's multi-core jobs use it so a
 mis-provisioned runner cannot greenwash the parallel path.
+
+Schema v5 adds the ``serving`` section: the query-serving sweep
+(:mod:`repro.serving`) reporting QPS (per cycle and per wall-second),
+p50/p95/p99 latency-in-cycles, coverage-at-cutoff for abandoned queries
+and the CPU/RSS envelope, per ``workload@concurrency`` cell.  ``--serving``
+adds it to a suite run, ``--serving-smoke`` runs a small sweep standalone
+under a wall-clock budget (the CI PR job), and ``--compare`` guards
+``qps_wall`` drops and ``latency_p95`` increases beyond the regression
+budget whenever both reports carry the section.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_REPORT_NAME = "BENCH_p3q.json"
 
 #: Macro benchmark network sizes (the issue's N=100/500/1000 trajectory).
@@ -66,17 +75,13 @@ _median = statistics.median
 def _peak_rss_bytes() -> Optional[int]:
     """The process's lifetime peak RSS in bytes (``None`` off-POSIX).
 
-    ``ru_maxrss`` is a high-water mark: sampling it after a phase reports
-    the cumulative peak *up to and including* that phase, so per-phase
-    values are monotone and the last one is the run's true peak.
+    Delegates to the serving layer's shared probe
+    (:func:`repro.serving.resources.peak_rss_bytes`) -- one implementation
+    of the ``ru_maxrss`` unit handling serves both harnesses.
     """
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return None
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports kilobytes, macOS bytes.
-    return rss if sys.platform == "darwin" else rss * 1024
+    from repro.serving.resources import peak_rss_bytes
+
+    return peak_rss_bytes()
 
 
 def _pool_reuse_count(sim) -> int:
@@ -726,6 +731,91 @@ def bench_scale_smoke(
     return result
 
 
+# ------------------------------------------------------------------- serving
+
+#: Catalogue workloads swept by the serving benchmark.
+DEFAULT_SERVING_WORKLOADS = ("hot-topic", "long-tail", "mixed")
+#: Concurrency levels (max simultaneously open sessions) per workload.
+DEFAULT_SERVING_CONCURRENCY = (4, 16)
+#: Serving network size: small enough that the O(N^2) ideal warm start
+#: stays in the seconds range, large enough that personal networks do not
+#: trivially cover the population.
+DEFAULT_SERVING_NODES = 300
+DEFAULT_SERVING_QUERIES = 48
+
+
+def bench_serving(
+    num_nodes: int = DEFAULT_SERVING_NODES,
+    num_queries: int = DEFAULT_SERVING_QUERIES,
+    workloads: Sequence[str] = DEFAULT_SERVING_WORKLOADS,
+    concurrency_levels: Sequence[int] = DEFAULT_SERVING_CONCURRENCY,
+    quick: bool = False,
+    seed: int = 17,
+    max_cycles: int = 120,
+    cutoff_cycles: int = 30,
+) -> Dict:
+    """The query-serving sweep: workload catalogue x concurrency levels.
+
+    Every cell runs a fresh warm-started simulation (the ideal index is
+    built once and shared, so the O(N^2) setup is paid once) and drives the
+    workload through :func:`repro.serving.run_serving`.  Reported per cell:
+    QPS per cycle and per wall-second, nearest-rank p50/p95/p99
+    latency-in-cycles over completed queries, coverage-at-cutoff over
+    abandoned ones, and the CPU/RSS envelope.  QPS-per-cycle and the
+    latency percentiles are deterministic in the seed; only the wall-clock
+    rates are machine-dependent.
+    """
+    from repro.data import SyntheticConfig, generate_dataset
+    from repro.p3q import P3QConfig, P3QSimulation
+    from repro.serving import ServingConfig, build_workload, run_serving
+    from repro.similarity.knn import IdealNetworkIndex
+
+    if quick:
+        num_nodes = min(num_nodes, 60)
+        num_queries = min(num_queries, 12)
+        concurrency_levels = (2, 4)
+        max_cycles = 60
+        cutoff_cycles = 15
+
+    dataset = generate_dataset(SyntheticConfig(num_users=num_nodes, seed=seed))
+    network_size = max(10, min(50, num_nodes // 4))
+    ideal = IdealNetworkIndex(dataset, size=network_size)
+
+    cells: Dict[str, Dict[str, float]] = {}
+    for workload_name in workloads:
+        serving_workload = build_workload(
+            workload_name, dataset, num_queries, seed=seed
+        )
+        for level in concurrency_levels:
+            config = P3QConfig(
+                network_size=network_size,
+                storage=3,
+                seed=seed,
+            )
+            sim = P3QSimulation(dataset.copy(), config)
+            sim.warm_start(ideal=ideal)
+            sim.bootstrap_random_views()
+            result = run_serving(
+                sim,
+                serving_workload,
+                ServingConfig(
+                    concurrency=level,
+                    arrivals_per_cycle=max(1, level // 2),
+                    max_cycles=max_cycles,
+                    cutoff_cycles=cutoff_cycles,
+                ),
+            )
+            cells[f"{workload_name}@c{level}"] = result.as_dict()
+            sim.close()
+    return {
+        "num_nodes": num_nodes,
+        "num_queries": num_queries,
+        "network_size": network_size,
+        "seed": seed,
+        "workloads": cells,
+    }
+
+
 # --------------------------------------------------------------------- report
 
 
@@ -739,6 +829,7 @@ def run_suite(
     dataset_cache: Optional[Path] = None,
     columnar: bool = False,
     worker_scaling_size: Optional[int] = None,
+    serving: bool = False,
 ) -> Dict:
     """Run the full benchmark suite and return the report dictionary."""
     started = time.time()
@@ -766,6 +857,8 @@ def run_suite(
     }
     if columnar or quick:
         report["columnar"] = bench_columnar(quick=quick)
+    if serving or quick:
+        report["serving"] = bench_serving(quick=quick)
     if worker_scaling_size is not None:
         report["worker_scaling"] = {
             str(worker_scaling_size): bench_worker_scaling(
@@ -869,6 +962,61 @@ def validate_report(report: Dict) -> List[str]:
                         problems.append(
                             f"columnar[{size!r}].{key} must be a positive number"
                         )
+    serving = report.get("serving")
+    if serving is not None:
+        if not isinstance(serving, dict):
+            problems.append("section 'serving' must be an object")
+        else:
+            cells = serving.get("workloads")
+            if not isinstance(cells, dict) or not cells:
+                problems.append("serving.workloads must be a non-empty object")
+            else:
+                for cell, entry in cells.items():
+                    if not isinstance(entry, dict):
+                        problems.append(f"serving.workloads[{cell!r}] must be an object")
+                        continue
+                    for key in ("qps_cycle", "qps_wall"):
+                        value = entry.get(key)
+                        if not isinstance(value, (int, float)) or value <= 0:
+                            problems.append(
+                                f"serving.workloads[{cell!r}].{key} must be a "
+                                f"positive number (the sweep must complete queries)"
+                            )
+                    percentiles = []
+                    for key in ("latency_p50", "latency_p95", "latency_p99"):
+                        value = entry.get(key)
+                        if not isinstance(value, (int, float)) or value < 0:
+                            problems.append(
+                                f"serving.workloads[{cell!r}].{key} must be a "
+                                f"non-negative number"
+                            )
+                        else:
+                            percentiles.append(value)
+                    if len(percentiles) == 3 and not (
+                        percentiles[0] <= percentiles[1] <= percentiles[2]
+                    ):
+                        problems.append(
+                            f"serving.workloads[{cell!r}] latency percentiles "
+                            f"must be non-decreasing (p50 <= p95 <= p99)"
+                        )
+                    completed = entry.get("completed")
+                    if not isinstance(completed, int) or completed < 1:
+                        problems.append(
+                            f"serving.workloads[{cell!r}].completed must be a "
+                            f"positive integer"
+                        )
+                    coverage = entry.get("coverage_at_cutoff")
+                    if not isinstance(coverage, (int, float)) or not 0 <= coverage <= 1:
+                        problems.append(
+                            f"serving.workloads[{cell!r}].coverage_at_cutoff "
+                            f"must be in [0, 1]"
+                        )
+                    rss = entry.get("peak_rss_bytes")
+                    if rss is not None and (not isinstance(rss, int) or rss <= 0):
+                        problems.append(
+                            f"serving.workloads[{cell!r}].peak_rss_bytes must "
+                            f"be a positive byte count"
+                        )
     scaling = report.get("worker_scaling")
     if scaling is not None:
         if not isinstance(scaling, dict) or not scaling:
@@ -909,6 +1057,13 @@ def compare_reports(
     reports) that regressed by more than ``max_regression``.  Quick (smoke)
     baselines are compared only against quick runs and vice versa -- mixing
     the two would compare different workloads.
+
+    When *both* reports carry a ``serving`` section, its shared
+    ``workload@concurrency`` cells are guarded too: a ``qps_wall`` drop or
+    a ``latency_p95`` increase beyond ``max_regression`` fails.  A baseline
+    predating schema v5 simply has no serving section, so the guard
+    self-activates once the baseline carries one (same transition behaviour
+    as the v3 ``rate_stat`` parity rule).
     """
     problems: List[str] = []
     if current.get("quick") != baseline.get("quick"):
@@ -953,6 +1108,34 @@ def compare_reports(
                             f"{min(samples):.2f}..{max(samples):.2f}"
                         )
                 problems.append(message)
+    current_serving = (current.get("serving") or {}).get("workloads") or {}
+    baseline_serving = (baseline.get("serving") or {}).get("workloads") or {}
+    for cell in sorted(set(current_serving) & set(baseline_serving)):
+        old_entry, new_entry = baseline_serving[cell], current_serving[cell]
+        old_qps, new_qps = old_entry.get("qps_wall"), new_entry.get("qps_wall")
+        if (
+            isinstance(old_qps, (int, float))
+            and isinstance(new_qps, (int, float))
+            and old_qps > 0
+            and new_qps < old_qps * (1.0 - max_regression)
+        ):
+            problems.append(
+                f"serving[{cell}].qps_wall regressed "
+                f"{100 * (1 - new_qps / old_qps):.1f}% "
+                f"({old_qps:.2f} -> {new_qps:.2f} q/s, budget {max_regression:.0%})"
+            )
+        old_p95, new_p95 = old_entry.get("latency_p95"), new_entry.get("latency_p95")
+        if (
+            isinstance(old_p95, (int, float))
+            and isinstance(new_p95, (int, float))
+            and old_p95 > 0
+            and new_p95 > old_p95 * (1.0 + max_regression)
+        ):
+            problems.append(
+                f"serving[{cell}].latency_p95 regressed "
+                f"{100 * (new_p95 / old_p95 - 1):.1f}% "
+                f"({old_p95:.0f} -> {new_p95:.0f} cycles, budget {max_regression:.0%})"
+            )
     return problems
 
 
@@ -1002,6 +1185,23 @@ def _print_summary(report: Dict) -> None:
             f"probe {entry['probe_ops_per_sec']:,.0f} ops/s "
             f"({entry['probe_speedup']:.1f}x)"
         )
+    serving = report.get("serving")
+    if serving:
+        print(
+            f"serving N={serving['num_nodes']}: "
+            f"{len(serving['workloads'])} workload/concurrency cells, "
+            f"{serving['num_queries']} queries each"
+        )
+        for cell, entry in serving["workloads"].items():
+            rss = entry.get("peak_rss_bytes")
+            rss_text = f", rss {rss / 1e6:.0f}MB" if rss else ""
+            print(
+                f"  {cell}: {entry['completed']}/{entry['num_queries']} completed, "
+                f"{entry['qps_cycle']:.2f} q/cycle, {entry['qps_wall']:.1f} q/s, "
+                f"latency p50/p95/p99 {entry['latency_p50']:.0f}/"
+                f"{entry['latency_p95']:.0f}/{entry['latency_p99']:.0f} cycles"
+                f"{rss_text}"
+            )
     for size, entry in sorted(
         (report.get("worker_scaling") or {}).items(), key=lambda kv: int(kv[0])
     ):
@@ -1102,6 +1302,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="with --scale-smoke: also write the timing breakdown as a "
         "JSON fragment (uploaded as a CI artifact)",
+    )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="include the query-serving sweep (workload catalogue x "
+        f"concurrency levels {DEFAULT_SERVING_CONCURRENCY}; always on "
+        "for --quick)",
+    )
+    parser.add_argument(
+        "--serving-smoke",
+        action="store_true",
+        help="run a small serving sweep standalone and exit non-zero if it "
+        "exceeds --budget-seconds or completes no queries (no report "
+        "written)",
     )
     parser.add_argument(
         "--columnar",
@@ -1206,6 +1420,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("scale smoke ok")
         return 0
 
+    if args.serving_smoke:
+        start = time.perf_counter()
+        serving = bench_serving(quick=True)
+        elapsed = time.perf_counter() - start
+        total_completed = 0
+        for cell, entry in serving["workloads"].items():
+            total_completed += entry["completed"]
+            print(
+                f"serving smoke {cell}: {entry['completed']}/{entry['num_queries']} "
+                f"completed, {entry['qps_cycle']:.2f} q/cycle, "
+                f"p95 {entry['latency_p95']:.0f} cycles"
+            )
+        if total_completed == 0:
+            print(
+                "serving smoke FAILED: no query completed in any cell",
+                file=sys.stderr,
+            )
+            return 1
+        if elapsed > args.budget_seconds:
+            print(
+                f"serving smoke FAILED: {elapsed:.1f}s exceeds the "
+                f"{args.budget_seconds:.0f}s budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"serving smoke ok ({elapsed:.1f}s)")
+        return 0
+
     if args.compare is not None:
         reports = []
         for path in (args.compare, args.against):
@@ -1261,6 +1503,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dataset_cache=args.dataset_cache,
         columnar=args.columnar,
         worker_scaling_size=args.worker_scaling,
+        serving=args.serving,
     )
     write_report(report, args.output)
     _print_summary(report)

@@ -1,0 +1,34 @@
+"""Serving tradeoff: recall vs latency at coverage cutoffs (beyond paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import DEFAULT_COVERAGE_CUTOFFS, run_serving_tradeoff
+
+from conftest import run_once, save_report
+
+
+def test_fig_serving(benchmark, scale, workload):
+    result = run_once(
+        benchmark,
+        run_serving_tradeoff,
+        scale,
+        cutoffs=DEFAULT_COVERAGE_CUTOFFS,
+        cycles=12,
+        workload=workload,
+    )
+    save_report(result.render())
+    cutoffs = result.cutoffs
+    # The direct transport loses nothing, so essentially every query reaches
+    # full coverage within the horizon, and higher cutoffs can only be met
+    # by a subset of the queries meeting lower ones.
+    assert result.fraction_met[1.0] > 0.95
+    for lo, hi in zip(cutoffs, cutoffs[1:]):
+        assert result.fraction_met[hi] <= result.fraction_met[lo]
+    # At coverage 1 the querier reads off the exact result: recall 1 over
+    # the queries that got there.
+    assert result.avg_recall[1.0] > 0.99
+    # The tradeoff itself: waiting for a higher cutoff costs cycles and buys
+    # answer quality (per query the first cycle reaching a higher coverage
+    # can never precede the first cycle reaching a lower one).
+    assert result.latency_p50[1.0] >= result.latency_p50[0.5]
+    assert result.avg_recall[1.0] >= result.avg_recall[0.5]

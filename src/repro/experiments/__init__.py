@@ -31,6 +31,11 @@ from .fig9_aur_eager import AurEagerResult, run_aur_eager
 from .fig10_network_update import NetworkUpdateResult, run_network_update
 from .fig11_churn import PAPER_DEPARTURES, ChurnResult, run_churn
 from .fig_loss import DEFAULT_LOSS_RATES, LossSweepResult, run_loss_sweep
+from .fig_serving import (
+    DEFAULT_COVERAGE_CUTOFFS,
+    ServingTradeoffResult,
+    run_serving_tradeoff,
+)
 from .fig_adversarial import (
     DEFAULT_FREE_RIDER_FRACTIONS,
     FreeRiderSweepResult,
@@ -93,6 +98,9 @@ __all__ = [
     "run_experiments_parallel",
     "run_free_rider_sweep",
     "run_loss_sweep",
+    "DEFAULT_COVERAGE_CUTOFFS",
+    "ServingTradeoffResult",
+    "run_serving_tradeoff",
     "run_partition_heal",
     "run_network_update",
     "run_query_bandwidth",

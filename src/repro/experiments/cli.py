@@ -38,6 +38,7 @@ from . import (
     run_loss_sweep,
     run_partition_heal,
     run_network_update,
+    run_serving_tradeoff,
     run_query_bandwidth,
     run_random_view_ablation,
     run_selection_ablation,
@@ -115,6 +116,11 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Loss sweep: recall and bandwidth under per-message packet loss",
         True,
         lambda scale, w: run_loss_sweep(scale, cycles=12, workload=w),
+    ),
+    "fig-serving": (
+        "Serving tradeoff: latency and recall at coverage cutoffs",
+        True,
+        lambda scale, w: run_serving_tradeoff(scale, cycles=12, workload=w),
     ),
     "fig-partition": (
         "Partition and heal: recall and bandwidth across a network split",

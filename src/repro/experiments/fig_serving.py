@@ -1,0 +1,108 @@
+"""Serving tradeoff: answer quality vs waiting time at the querier.
+
+The paper lets the querier consult coverage (the fraction of her personal
+network already contributing) and stop whenever the current results look
+good enough.  This experiment pins what that early stop costs: for a range
+of coverage cutoffs it reads, per query, the *first* per-cycle snapshot
+whose coverage reached the cutoff, and reports
+
+* the fraction of queries that reached the cutoff within the horizon;
+* the latency in eager cycles from issue to that snapshot (p50 / p95 over
+  the queries that met the cutoff);
+* the average recall of the results displayed at that snapshot against the
+  centralized reference.
+
+Together these are the recall-vs-latency curve the serving harness's
+abandonment cutoff trades along: lower cutoffs answer cycles earlier with
+partial results, coverage 1 waits for the exact answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.recall import recall
+from ..serving.driver import percentile
+from .report import format_table
+from .runner import PreparedWorkload, converged_simulation, prepare_workload
+from .scenarios import ExperimentScale
+
+#: Coverage cutoffs swept by default (1.0 is the exact-answer baseline).
+DEFAULT_COVERAGE_CUTOFFS = (0.5, 0.7, 0.9, 1.0)
+
+
+@dataclass
+class ServingTradeoffResult:
+    """Per-cutoff latency and recall of coverage-triggered early answers."""
+
+    cutoffs: List[float]
+    #: cutoff -> fraction of queries whose coverage reached it in time.
+    fraction_met: Dict[float, float]
+    #: cutoff -> p50 / p95 issue-to-cutoff latency in cycles (met queries).
+    latency_p50: Dict[float, float]
+    latency_p95: Dict[float, float]
+    #: cutoff -> average recall of the snapshot displayed at the cutoff.
+    avg_recall: Dict[float, float]
+
+    def render(self) -> str:
+        rows = []
+        for cutoff in self.cutoffs:
+            rows.append(
+                [
+                    f"{cutoff:.2f}",
+                    f"{self.fraction_met[cutoff] * 100:.1f}%",
+                    f"{self.latency_p50[cutoff]:.0f}",
+                    f"{self.latency_p95[cutoff]:.0f}",
+                    f"{self.avg_recall[cutoff]:.3f}",
+                ]
+            )
+        return format_table(
+            ["coverage cutoff", "% queries met", "p50 cycles", "p95 cycles", "avg recall"],
+            rows,
+            title="Serving tradeoff: latency and recall at coverage cutoffs",
+        )
+
+
+def run_serving_tradeoff(
+    scale: Optional[ExperimentScale] = None,
+    cutoffs: Sequence[float] = DEFAULT_COVERAGE_CUTOFFS,
+    cycles: int = 12,
+    workload: Optional[PreparedWorkload] = None,
+) -> ServingTradeoffResult:
+    """One converged run, post-processed per coverage cutoff."""
+    scale = scale or ExperimentScale.small()
+    workload = workload or prepare_workload(scale)
+    storage = scale.storage_levels[len(scale.storage_levels) // 2]
+
+    simulation = converged_simulation(workload, storage=storage)
+    sessions = simulation.issue_queries(workload.queries)
+    simulation.run_eager(cycles, stop_when_idle=False)
+
+    fraction_met: Dict[float, float] = {}
+    latency_p50: Dict[float, float] = {}
+    latency_p95: Dict[float, float] = {}
+    avg_recall: Dict[float, float] = {}
+    for cutoff in cutoffs:
+        latencies: List[float] = []
+        recalls: List[float] = []
+        for query_id, session in sessions.items():
+            hit = next(
+                (s for s in session.snapshots if s.coverage >= cutoff), None
+            )
+            if hit is None:
+                continue
+            latencies.append(hit.cycle - session.issued_cycle)
+            recalls.append(recall(hit.items, workload.references.get(query_id, ())))
+        total = len(sessions)
+        fraction_met[cutoff] = len(latencies) / total if total else 0.0
+        latency_p50[cutoff] = percentile(latencies, 50)
+        latency_p95[cutoff] = percentile(latencies, 95)
+        avg_recall[cutoff] = sum(recalls) / len(recalls) if recalls else 0.0
+    return ServingTradeoffResult(
+        cutoffs=list(cutoffs),
+        fraction_met=fraction_met,
+        latency_p50=latency_p50,
+        latency_p95=latency_p95,
+        avg_recall=avg_recall,
+    )

@@ -220,12 +220,17 @@ class P3QNode(Node):
 
     # ------------------------------------------------------------ query (own)
 
-    def issue_query(self, query: Query, k: Optional[int] = None) -> QuerySession:
+    def issue_query(
+        self, query: Query, k: Optional[int] = None, cycle: int = 0
+    ) -> QuerySession:
         """Start processing a query issued by this node (Algorithm 2).
 
         The local partial result (own profile plus every stored replica) is
         computed immediately; the remaining list holds the personal-network
-        neighbours whose profiles are not stored locally.
+        neighbours whose profiles are not stored locally.  ``cycle`` is the
+        eager cycle at which the query is issued: a query (re-)issued while
+        the eager phase is already running must measure its completion
+        latency from that cycle, not from 0.
         """
         if query.querier != self.node_id:
             raise ValueError(
@@ -235,11 +240,12 @@ class P3QNode(Node):
             query=query,
             k=k or self.config.k,
             personal_network_ids=self.personal_network.member_ids(),
+            issued_cycle=cycle,
         )
         local_profiles = [self.profile] + list(self.personal_network.stored_profiles().values())
         contributors = [self.node_id] + self.personal_network.stored_ids()
         scores = partial_scores(local_profiles, query)
-        session.add_local_result(scores, contributors, cycle=0)
+        session.add_local_result(scores, contributors, cycle=cycle)
         session.set_remaining(self.personal_network.unstored_ids())
         self.mark_contributed(query.query_id, contributors)
         self.sessions[query.query_id] = session

@@ -358,15 +358,26 @@ class P3QSimulation:
 
     # ------------------------------------------------------------ eager phase
 
+    @property
+    def eager_cycles_run(self) -> int:
+        """Eager cycles executed so far (the serving driver's clock)."""
+        return self._eager_cycles_run
+
     def issue_queries(self, queries: Iterable[Query]) -> Dict[int, QuerySession]:
-        """Issue queries at their queriers and record the cycle-0 snapshots."""
+        """Issue queries at their queriers and record the issue-cycle snapshots.
+
+        Queries issued after some eager cycles already ran (the serving
+        driver's steady-state injection) are stamped with the current eager
+        cycle so ``latency_cycles`` measures from injection, not from 0.
+        """
         sessions: Dict[int, QuerySession] = {}
+        cycle = self._eager_cycles_run
         for query in queries:
             node = self.nodes[query.querier]
             if not self.network.is_online(query.querier):
                 continue
-            session = node.issue_query(query)
-            session.close_cycle(0)
+            session = node.issue_query(query, cycle=cycle)
+            session.close_cycle(cycle)
             sessions[query.query_id] = session
         return sessions
 

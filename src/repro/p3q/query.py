@@ -13,10 +13,36 @@ Two kinds of state exist during eager-mode processing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..data.queries import Query
 from ..topk.incremental import IncrementalNRA
+
+
+def coverage_fraction(profiles_used: int, profiles_total: int) -> float:
+    """The shared coverage semantics of session and snapshot.
+
+    Coverage is the fraction of the profiles *expected at issue time* (the
+    querier's personal network plus the querier herself) that have already
+    contributed a partial result.  Two edge cases share one rule:
+
+    * ``profiles_total == 0`` -- no expected profile at all.  Only reachable
+      by constructing a :class:`CycleSnapshot` directly (a session always
+      expects at least the querier): nothing can be missing, coverage is 1.
+    * a querier whose personal network churned away entirely mid-query keeps
+      ``profiles_total`` at its issue-time value: departed members never
+      contribute, so coverage stays below 1 and the session never closes.
+      The serving layer surfaces such queries as *abandoned at the cutoff*
+      with this coverage value; they are never silently promoted to 1.
+
+    The recall metrics (:mod:`repro.metrics.recall`, the serving harness)
+    consume :attr:`CycleSnapshot.coverage`; :attr:`QuerySession.coverage` is
+    the same quantity for the *current* state and always equals the latest
+    snapshot's value right after :meth:`QuerySession.close_cycle`.
+    """
+    if profiles_total <= 0:
+        return 1.0
+    return profiles_used / profiles_total
 
 
 @dataclass
@@ -54,17 +80,22 @@ class CycleSnapshot:
         """Fraction of the personal network already contributing.
 
         This is the quality estimate the paper lets users consult to decide
-        whether the current results are satisfactory.
+        whether the current results are satisfactory (shared semantics:
+        :func:`coverage_fraction`).
         """
-        if self.profiles_total == 0:
-            return 1.0
-        return self.profiles_used / self.profiles_total
+        return coverage_fraction(self.profiles_used, self.profiles_total)
 
 
 class QuerySession:
     """Everything the querier tracks about one of her queries."""
 
-    def __init__(self, query: Query, k: int, personal_network_ids: Sequence[int]) -> None:
+    def __init__(
+        self,
+        query: Query,
+        k: int,
+        personal_network_ids: Sequence[int],
+        issued_cycle: int = 0,
+    ) -> None:
         self.query = query
         self.k = k
         #: Ids whose profiles must eventually contribute (the whole personal
@@ -76,6 +107,15 @@ class QuerySession:
         self._pending: List[PartialResult] = []
         self.snapshots: List[CycleSnapshot] = []
         self.closed = False
+        #: Eager cycle at which the query was issued.  Stored at creation so
+        #: completion latency is a session-local quantity instead of having
+        #: to be reconstructed by scanning snapshots; a query (re-)issued
+        #: mid-run carries the re-issue cycle, not 0.
+        self.issued_cycle = issued_cycle
+        #: Eager cycle at which the session first became complete (``None``
+        #: while processing).  Pinned at the closing transition only: the
+        #: per-cycle snapshots a closed session keeps producing never move it.
+        self.closed_cycle: Optional[int] = None
 
     # -- feeding --------------------------------------------------------------
 
@@ -103,15 +143,39 @@ class QuerySession:
 
     def close_cycle(self, cycle: int) -> CycleSnapshot:
         """Merge the partial results received during ``cycle`` (Algorithm 4)."""
+        if self.closed:
+            # The querier already read off the exact result: a partial result
+            # arriving after that (a straggler retry under loss or latency)
+            # must not perturb it.  The snapshot simply restates the final
+            # top-k at the new cycle.
+            self._pending.clear()
+            snapshot = CycleSnapshot(
+                cycle=cycle,
+                top_k=list(self.snapshots[-1].top_k) if self.snapshots else [],
+                profiles_used=len(self.profiles_used & self.expected_profiles),
+                profiles_total=len(self.expected_profiles),
+            )
+            self.snapshots.append(snapshot)
+            return snapshot
         new_lists: List[Dict[int, float]] = []
         for partial in self._pending:
-            new_contributors = set(partial.contributors) - self.profiles_used
-            if not new_contributors and partial.scores:
+            contributors = set(partial.contributors)
+            new_contributors = contributors - self.profiles_used
+            if not new_contributors:
                 # Every contributor was already counted: using the list again
                 # would double count (the partitioning normally prevents
                 # this; the guard keeps the invariant under churn retries).
                 continue
-            self.profiles_used.update(partial.contributors)
+            if partial.scores and new_contributors != contributors:
+                # Churn-retry overlap: the aggregated scores mix profiles
+                # already merged in an earlier cycle with new ones, and the
+                # per-contributor shares are not separable from the sum.
+                # Merging would double count the overlap, so the tainted list
+                # is dropped whole -- and the new contributors are NOT marked
+                # used, because their contribution never reached the merger
+                # (same accounting as a partial result lost on the wire).
+                continue
+            self.profiles_used.update(new_contributors)
             if partial.scores:
                 new_lists.append(partial.scores)
         self._pending.clear()
@@ -129,6 +193,7 @@ class QuerySession:
         self.snapshots.append(snapshot)
         if self.is_complete():
             self.closed = True
+            self.closed_cycle = cycle
         return snapshot
 
     # -- results --------------------------------------------------------------
@@ -148,9 +213,24 @@ class QuerySession:
 
     @property
     def coverage(self) -> float:
-        if not self.expected_profiles:
-            return 1.0
-        return len(self.profiles_used & self.expected_profiles) / len(self.expected_profiles)
+        """Current coverage; equals the latest snapshot's (:func:`coverage_fraction`)."""
+        return coverage_fraction(
+            len(self.profiles_used & self.expected_profiles),
+            len(self.expected_profiles),
+        )
+
+    @property
+    def latency_cycles(self) -> Optional[int]:
+        """Eager cycles from issue to completion, or ``None`` while open.
+
+        ``issued_cycle`` is pinned at session creation (including the eager
+        re-issue path, where it carries the re-issue cycle) and
+        ``closed_cycle`` at the closing transition, so the latency survives
+        the per-cycle snapshots a closed session keeps producing.
+        """
+        if self.closed_cycle is None:
+            return None
+        return self.closed_cycle - self.issued_cycle
 
 
 @dataclass

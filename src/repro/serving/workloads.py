@@ -1,0 +1,178 @@
+"""The serving workload catalogue.
+
+Three query mixes stress the eager phase in different ways:
+
+* **hot-topic** -- a flash crowd: many distinct queriers issue the *same*
+  query (the tags of the globally most popular item) inside one injection
+  window.  Every query fans out over a different personal network, so the
+  load concentrates on the popular item's community.
+* **long-tail** -- the paper's personalized workload: each sampled querier
+  asks for a random item of her own profile, so the topic distribution
+  follows the per-community item/tag popularity the synthetic generator
+  built the profiles from.
+* **mixed** -- long-tail queries interleaved with profile dynamics: a
+  :class:`~repro.data.models.ChangeDay` is applied every ``change_every``
+  cycles while queries are in flight, so sessions race digest invalidation
+  and personal-network updates (the read/update interleaving a live system
+  serves).
+
+Workloads are deterministic in ``(dataset, seed)``; query ids are assigned
+from ``query_id_base`` so several workloads can share one simulation's
+session/stats namespace without collisions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..data.dynamics import DynamicsConfig, ProfileDynamicsGenerator
+from ..data.models import ChangeDay, Dataset
+from ..data.queries import Query, QueryWorkloadGenerator
+
+#: Maximum tags a hot-topic query carries (the paper's queries are short).
+HOT_TOPIC_MAX_TAGS = 3
+
+
+@dataclass(frozen=True)
+class ServingWorkload:
+    """An ordered query stream plus an optional update schedule."""
+
+    name: str
+    #: Queries in injection order (the driver admits from the front).
+    queries: Tuple[Query, ...]
+    #: cycle offset (from the driver's start) -> profile changes to apply
+    #: before admitting that cycle's queries.
+    change_schedule: Dict[int, ChangeDay] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def _sample_queriers(dataset: Dataset, count: int, rng: random.Random) -> List[int]:
+    """``count`` distinct users with non-empty profiles (queries need tags)."""
+    candidates = [uid for uid in dataset.user_ids if dataset.profile(uid).items]
+    if not candidates:
+        raise ValueError("dataset has no user with a non-empty profile")
+    if count >= len(candidates):
+        return list(candidates)
+    return sorted(rng.sample(candidates, k=count))
+
+
+def hot_topic_workload(
+    dataset: Dataset,
+    num_queries: int,
+    seed: int = 17,
+    query_id_base: int = 0,
+) -> ServingWorkload:
+    """A flash crowd on the most popular item's tags."""
+    popularity = dataset.item_popularity()
+    if not popularity:
+        raise ValueError("dataset has no tagged item")
+    hot_item = popularity.most_common(1)[0][0]
+    tag_counts: Counter = Counter()
+    for profile in dataset.profiles():
+        tag_counts.update(profile.tags_for(hot_item))
+    # Ties broken by tag id so the workload is deterministic in the dataset.
+    hot_tags = tuple(
+        tag
+        for tag, _count in sorted(tag_counts.items(), key=lambda kv: (-kv[1], kv[0]))[
+            :HOT_TOPIC_MAX_TAGS
+        ]
+    )
+    rng = random.Random(seed)
+    queriers = _sample_queriers(dataset, num_queries, rng)
+    queries = tuple(
+        Query(
+            query_id=query_id_base + index,
+            querier=uid,
+            tags=hot_tags,
+            source_item=hot_item,
+        )
+        for index, uid in enumerate(queriers)
+    )
+    return ServingWorkload(name="hot-topic", queries=queries)
+
+
+def long_tail_workload(
+    dataset: Dataset,
+    num_queries: int,
+    seed: int = 17,
+    query_id_base: int = 0,
+) -> ServingWorkload:
+    """Personalized queries following the per-community topic distributions."""
+    rng = random.Random(seed)
+    generator = QueryWorkloadGenerator(dataset, seed=seed)
+    queriers = _sample_queriers(dataset, num_queries, rng)
+    queries: List[Query] = []
+    for uid in queriers:
+        query = generator.query_for(uid, query_id=query_id_base + len(queries))
+        if query is not None:
+            queries.append(query)
+    return ServingWorkload(name="long-tail", queries=tuple(queries))
+
+
+def mixed_workload(
+    dataset: Dataset,
+    num_queries: int,
+    seed: int = 17,
+    query_id_base: int = 0,
+    change_every: int = 4,
+    num_change_days: int = 3,
+    change_fraction: float = 0.10,
+) -> ServingWorkload:
+    """Long-tail queries racing profile dynamics.
+
+    Change days land at cycle offsets ``change_every, 2*change_every, ...``
+    so the first injection window runs against stable profiles and later
+    ones against freshly invalidated digests.
+    """
+    if change_every < 1:
+        raise ValueError("change_every must be positive")
+    base = long_tail_workload(
+        dataset, num_queries, seed=seed, query_id_base=query_id_base
+    )
+    dynamics = ProfileDynamicsGenerator(
+        dataset,
+        DynamicsConfig(
+            change_fraction=change_fraction,
+            num_days=max(1, num_change_days),
+            seed=seed,
+        ),
+    )
+    schedule = {
+        change_every * (day + 1): dynamics.generate_day(day)
+        for day in range(max(1, num_change_days))
+    }
+    return ServingWorkload(
+        name="mixed", queries=base.queries, change_schedule=schedule
+    )
+
+
+#: name -> builder with the (dataset, num_queries, seed, query_id_base)
+#: signature.  The catalogue order is the sweep order in reports.
+WORKLOADS: Dict[str, Callable[..., ServingWorkload]] = {
+    "hot-topic": hot_topic_workload,
+    "long-tail": long_tail_workload,
+    "mixed": mixed_workload,
+}
+
+
+def build_workload(
+    name: str,
+    dataset: Dataset,
+    num_queries: int,
+    seed: int = 17,
+    query_id_base: Optional[int] = None,
+) -> ServingWorkload:
+    """Build one catalogue workload by name."""
+    try:
+        builder = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown serving workload {name!r} (available: {', '.join(WORKLOADS)})"
+        ) from None
+    base = 0 if query_id_base is None else query_id_base
+    return builder(dataset, num_queries, seed=seed, query_id_base=base)

@@ -80,6 +80,7 @@ class StatsCollector:
         self._bytes_by_node: Dict[int, int] = defaultdict(int)
         self._bytes_by_query: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
         self._messages_by_kind: Dict[str, int] = defaultdict(int)
+        self._messages_by_cycle: Dict[int, int] = defaultdict(int)
         self._messages_by_query: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
 
     # -- recording ------------------------------------------------------------
@@ -107,11 +108,13 @@ class StatsCollector:
         bytes_by_cycle = self._bytes_by_cycle
         bytes_by_node = self._bytes_by_node
         messages_by_kind = self._messages_by_kind
+        messages_by_cycle = self._messages_by_cycle
         for cycle, sender, _receiver, kind, size_bytes, query_id in rows[start:]:
             bytes_by_kind[kind] += size_bytes
             bytes_by_cycle[cycle] += size_bytes
             bytes_by_node[sender] += size_bytes
             messages_by_kind[kind] += 1
+            messages_by_cycle[cycle] += 1
             if query_id is not None:
                 self._bytes_by_query[query_id][kind] += size_bytes
                 self._messages_by_query[query_id][kind] += 1
@@ -205,6 +208,14 @@ class StatsCollector:
         self._catch_up()
         return dict(self._bytes_by_cycle)
 
+    def messages_by_cycle(self) -> Dict[int, int]:
+        """Message counts per cycle (the serving harness's traffic series).
+
+        Exact across flushes, like every other aggregate view.
+        """
+        self._catch_up()
+        return dict(self._messages_by_cycle)
+
     def bytes_by_node(self) -> Dict[int, int]:
         self._catch_up()
         return dict(self._bytes_by_node)
@@ -269,6 +280,8 @@ class StatsCollector:
             self._bytes_by_node[node] += value
         for kind, value in other._messages_by_kind.items():
             self._messages_by_kind[kind] += value
+        for cycle, value in other._messages_by_cycle.items():
+            self._messages_by_cycle[cycle] += value
         for query_id, per_kind in other._bytes_by_query.items():
             bucket = self._bytes_by_query[query_id]
             for kind, value in per_kind.items():

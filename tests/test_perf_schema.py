@@ -1,14 +1,16 @@
 """Schema tests for the perf harness report (``benchmarks.perf``).
 
-These pin the v4 report contract: everything v3 required -- macro entries
+These pin the v5 report contract: everything v4 required -- macro entries
 report ``setup_seconds`` separately from the timed cycle loops, declare how
-the eager phase was warmed, and carry the per-repeat rate samples behind
-the headline rate together with the statistic that produced it -- plus the
-executor dimension: every macro entry names the engine executor that
-actually ran (``inline``/``fork``/``pool``) and its pool-reuse count,
-optional per-phase peak-RSS breakdowns validate as positive byte counts,
-and the new ``columnar`` / ``worker_scaling`` sections carry positive
-throughput rates.
+the eager phase was warmed, carry the per-repeat rate samples behind
+the headline rate together with the statistic that produced it, name the
+engine executor that actually ran (``inline``/``fork``/``pool``) with its
+pool-reuse count, and the ``columnar`` / ``worker_scaling`` sections carry
+positive throughput rates -- plus the ``serving`` section: per
+``workload@concurrency`` cell, positive QPS, non-decreasing latency
+percentiles, a positive completed count, coverage-at-cutoff in [0, 1],
+and an optional positive peak-RSS byte count.  ``compare_reports`` guards
+serving QPS and p95 latency when both reports carry the section.
 """
 
 from __future__ import annotations
@@ -87,6 +89,42 @@ def _valid_report() -> dict:
                 "pool_reuse_count": 2,
             }
         },
+        "serving": {
+            "num_nodes": 300,
+            "num_queries": 48,
+            "network_size": 50,
+            "seed": 17,
+            "workloads": {
+                "hot-topic@c4": _serving_cell("hot-topic", 4),
+                "long-tail@c16": _serving_cell("long-tail", 16),
+            },
+        },
+    }
+
+
+def _serving_cell(workload: str, concurrency: int) -> dict:
+    return {
+        "workload": workload,
+        "concurrency": concurrency,
+        "arrivals_per_cycle": max(1, concurrency // 2),
+        "num_queries": 48,
+        "completed": 48,
+        "abandoned": 0,
+        "rejected": 0,
+        "cycles": 18,
+        "qps_cycle": 2.5,
+        "qps_wall": 120.0,
+        "latency_p50": 6.0,
+        "latency_p95": 6.0,
+        "latency_p99": 7.0,
+        "coverage_cutoff": 0.9,
+        "coverage_at_cutoff": 1.0,
+        "messages": 40_000,
+        "messages_per_cycle": 2_222.2,
+        "change_days_applied": 0,
+        "wall_seconds": 0.4,
+        "cpu_seconds": 0.4,
+        "peak_rss_bytes": 70_000_000,
     }
 
 
@@ -94,8 +132,8 @@ class TestValidateReportV3:
     def test_valid_report_passes(self):
         assert validate_report(_valid_report()) == []
 
-    def test_schema_version_is_4(self):
-        assert SCHEMA_VERSION == 4
+    def test_schema_version_is_5(self):
+        assert SCHEMA_VERSION == 5
 
     def test_missing_rate_stat_rejected(self):
         report = _valid_report()
@@ -192,7 +230,7 @@ class TestValidateReportV4:
         assert any("worker_scaling" in p and "engine_executor" in p
                    for p in validate_report(report))
 
-    def test_quick_suite_produces_a_valid_v4_report(self):
+    def test_quick_suite_produces_a_valid_report(self):
         from benchmarks.perf import run_suite
 
         report = run_suite(quick=True)
@@ -203,6 +241,83 @@ class TestValidateReportV4:
             assert entry["engine_executor"] in ("inline", "fork", "pool")
             assert entry["pool_reuse_count"] >= 0
         assert report["columnar"]  # quick runs include the micro-benchmark
+        assert report["serving"]["workloads"]  # ...and the serving sweep
+
+
+class TestValidateReportV5:
+    """The serving section: QPS, latency percentiles and coverage per cell."""
+
+    def test_serving_section_is_optional(self):
+        report = _valid_report()
+        del report["serving"]
+        assert validate_report(report) == []
+
+    def test_empty_workloads_rejected(self):
+        report = _valid_report()
+        report["serving"]["workloads"] = {}
+        assert any("serving.workloads" in p for p in validate_report(report))
+
+    def test_nonpositive_qps_rejected(self):
+        for key in ("qps_cycle", "qps_wall"):
+            report = _valid_report()
+            report["serving"]["workloads"]["hot-topic@c4"][key] = 0
+            assert any(key in p for p in validate_report(report))
+
+    def test_decreasing_percentiles_rejected(self):
+        report = _valid_report()
+        cell = report["serving"]["workloads"]["hot-topic@c4"]
+        cell["latency_p95"] = 10.0  # above p99 (7.0)
+        assert any("non-decreasing" in p for p in validate_report(report))
+
+    def test_zero_completed_rejected(self):
+        report = _valid_report()
+        report["serving"]["workloads"]["hot-topic@c4"]["completed"] = 0
+        assert any("completed" in p for p in validate_report(report))
+
+    def test_out_of_range_coverage_rejected(self):
+        report = _valid_report()
+        report["serving"]["workloads"]["hot-topic@c4"]["coverage_at_cutoff"] = 1.2
+        assert any("coverage_at_cutoff" in p for p in validate_report(report))
+
+    def test_malformed_peak_rss_rejected_but_absent_ok(self):
+        report = _valid_report()
+        report["serving"]["workloads"]["hot-topic@c4"]["peak_rss_bytes"] = -1
+        assert any("peak_rss_bytes" in p for p in validate_report(report))
+        report = _valid_report()
+        del report["serving"]["workloads"]["hot-topic@c4"]["peak_rss_bytes"]
+        assert validate_report(report) == []
+
+
+class TestCompareServing:
+    """The serving guard: QPS drops and p95 jumps fail the comparison."""
+
+    def test_qps_wall_regression_detected(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["serving"]["workloads"]["hot-topic@c4"]["qps_wall"] = 60.0  # was 120
+        problems = compare_reports(current, baseline, max_regression=0.10)
+        assert any("serving[hot-topic@c4].qps_wall" in p for p in problems)
+
+    def test_latency_p95_regression_detected(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["serving"]["workloads"]["long-tail@c16"]["latency_p95"] = 9.0
+        current["serving"]["workloads"]["long-tail@c16"]["latency_p99"] = 9.0
+        problems = compare_reports(current, baseline, max_regression=0.10)
+        assert any("serving[long-tail@c16].latency_p95" in p for p in problems)
+
+    def test_within_tolerance_passes(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["serving"]["workloads"]["hot-topic@c4"]["qps_wall"] = 115.0
+        assert compare_reports(current, baseline, max_regression=0.10) == []
+
+    def test_serving_absent_in_baseline_compares_macro_only(self):
+        # A v4 baseline predating the serving sweep: the guard must not
+        # fire, and macro regressions must still be caught.
+        current, baseline = _valid_report(), _valid_report()
+        del baseline["serving"]
+        assert compare_reports(current, baseline) == []
+        current["macro"]["100"]["lazy_cycles_per_sec"] = 10.0
+        problems = compare_reports(current, baseline)
+        assert any("macro[100].lazy_cycles_per_sec" in p for p in problems)
 
 
 class TestRequireExecutor:
