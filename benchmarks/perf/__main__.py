@@ -1,8 +1,13 @@
-"""Entry point for ``python -m benchmarks.perf``."""
+"""``python -m benchmarks.perf`` -- deprecated shim for ``python -m repro perf``."""
 
 import sys
+import warnings
 
 from . import main
 
 if __name__ == "__main__":
+    warnings.warn(
+        "'python -m benchmarks.perf' is deprecated; use 'python -m repro perf'",
+        DeprecationWarning,
+    )
     sys.exit(main())

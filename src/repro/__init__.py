@@ -16,7 +16,14 @@ The package implements, in pure Python:
   analytical model (:mod:`repro.p3q`);
 * baselines (:mod:`repro.baselines`), evaluation metrics
   (:mod:`repro.metrics`) and the per-figure experiment runners
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* the query-serving driver (:mod:`repro.serving`), the simulation fuzzer
+  (:mod:`repro.simtest`) and the asyncio service runtime speaking
+  serialized frames (:mod:`repro.service`).
+
+Every runnable tool is a subcommand of ``python -m repro`` (see
+:mod:`repro.cli`); the names re-exported here are the curated library
+surface (see README "Library usage").
 
 Quickstart::
 
@@ -42,19 +49,29 @@ from .data import (
 )
 from .p3q import P3QConfig, P3QNode, P3QSimulation
 from .baselines import CentralizedTopK
+from .serving import ServingConfig, ServingWorkload, run_serving
+from .service import NodeService, ServiceConfig, ServiceRuntime
+from .simtest import ScenarioSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CentralizedTopK",
     "Dataset",
+    "NodeService",
     "P3QConfig",
     "P3QNode",
     "P3QSimulation",
     "Query",
     "QueryWorkloadGenerator",
+    "ScenarioSpec",
+    "ServiceConfig",
+    "ServiceRuntime",
+    "ServingConfig",
+    "ServingWorkload",
     "SyntheticConfig",
     "UserProfile",
     "generate_dataset",
+    "run_serving",
     "__version__",
 ]

@@ -1,0 +1,7 @@
+"""``python -m repro``: the unified command-line front door (see repro.cli)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

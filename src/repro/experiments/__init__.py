@@ -36,6 +36,7 @@ from .fig_serving import (
     ServingTradeoffResult,
     run_serving_tradeoff,
 )
+from .fig_service import ServiceModeResult, run_service_mode
 from .fig_adversarial import (
     DEFAULT_FREE_RIDER_FRACTIONS,
     FreeRiderSweepResult,
@@ -101,6 +102,8 @@ __all__ = [
     "DEFAULT_COVERAGE_CUTOFFS",
     "ServingTradeoffResult",
     "run_serving_tradeoff",
+    "ServiceModeResult",
+    "run_service_mode",
     "run_partition_heal",
     "run_network_update",
     "run_query_bandwidth",

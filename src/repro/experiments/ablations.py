@@ -159,11 +159,19 @@ def run_random_view_ablation(
         simulation = P3QSimulation(dataset.copy(), config)
         simulation.bootstrap_random_views()
         if not enabled:
-            # Disable both peer-sampling exchanges and random-view scoring.
-            simulation.peer_sampling.run_cycle = lambda *_args, **_kwargs: None  # type: ignore[assignment]
-            simulation.lazy.refresh_from_random_view = (  # type: ignore[assignment]
-                lambda *_args, **_kwargs: []
-            )
+            # Disable both peer-sampling exchanges and random-view scoring by
+            # stubbing the sans-io cores (the engine and the service runtime
+            # both go through the effect generators).
+            def _no_sampling(*_args, **_kwargs):
+                return None
+                yield  # pragma: no cover - makes this a generator function
+
+            def _no_refresh(*_args, **_kwargs):
+                return []
+                yield  # pragma: no cover - makes this a generator function
+
+            simulation.peer_sampling.run_cycle_effects = _no_sampling  # type: ignore[assignment]
+            simulation.lazy.refresh_from_random_view_effects = _no_refresh  # type: ignore[assignment]
         values: List[float] = []
         values.append(average_success_ratio(ideal, simulation.discovered_networks()))
         done = 0

@@ -39,6 +39,7 @@ from . import (
     run_partition_heal,
     run_network_update,
     run_serving_tradeoff,
+    run_service_mode,
     run_query_bandwidth,
     run_random_view_ablation,
     run_selection_ablation,
@@ -121,6 +122,11 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Serving tradeoff: latency and recall at coverage cutoffs",
         True,
         lambda scale, w: run_serving_tradeoff(scale, cycles=12, workload=w),
+    ),
+    "fig-service": (
+        "Service mode: live asyncio runtime, recall and invariant audit",
+        False,
+        lambda scale, _w: run_service_mode(scale),
     ),
     "fig-partition": (
         "Partition and heal: recall and bandwidth across a network split",
@@ -246,4 +252,11 @@ def _emit(description: str, elapsed: float, report: str, name: str, output: Opti
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised through main() in tests
+    import warnings
+
+    warnings.warn(
+        "'python -m repro.experiments.cli' is deprecated; "
+        "use 'python -m repro experiments'",
+        DeprecationWarning,
+    )
     sys.exit(main())

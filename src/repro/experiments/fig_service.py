@@ -1,0 +1,88 @@
+"""fig-service: the live asyncio runtime answering a query workload.
+
+Not a figure from the paper -- a structural experiment for the service
+mode (ROADMAP item 2): run P3Q as real concurrent node tasks exchanging
+serialized frames, audit the recorded wire trace with the simtest
+invariant checkers, and report per-query recall/coverage plus bytes by
+message kind.  Unlike the cycle-engine experiments the numbers depend on
+wall-clock scheduling (timers race real queries), so this report is
+**not** golden-pinned; what must hold on every run is the invariant audit
+and that queries complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .report import format_table
+from .runner import PreparedWorkload
+from .scenarios import ExperimentScale
+
+#: Service runs are wall-clock bound: cap the deployment size so the
+#: experiment stays in the seconds range at every scale.
+MAX_SERVICE_NODES = 50
+MAX_SERVICE_QUERIES = 8
+
+
+@dataclass
+class ServiceModeResult:
+    """The demo report of one live service run."""
+
+    report: Dict[str, Any]
+
+    def render(self) -> str:
+        report = self.report
+        rows = []
+        for row in report["queries"]:
+            rows.append(
+                [
+                    str(row["query_id"]),
+                    str(row["querier"]),
+                    "yes" if row["closed"] else "no",
+                    f"{row['coverage']:.2f}",
+                    f"{row['recall']:.3f}",
+                ]
+            )
+        table = format_table(
+            ["query", "querier", "completed", "coverage", "recall"],
+            rows,
+            title=(
+                f"Service mode: {report['num_users']} asyncio nodes, "
+                f"{report['wire']} wire"
+            ),
+        )
+        lines = [
+            table,
+            "",
+            f"completed: {report['completed']}/{report['num_queries']}  "
+            f"mean recall: {report['mean_recall']:.3f}  "
+            f"bytes on the wire: {report['bytes_total']}",
+        ]
+        if report["invariant_error"] is not None:
+            lines.append(f"INVARIANT VIOLATION: {report['invariant_error']}")
+        else:
+            lines.append("invariants passed: " + ", ".join(report["invariants"]))
+        return "\n".join(lines)
+
+
+def run_service_mode(
+    scale: Optional[ExperimentScale] = None,
+    workload: Optional[PreparedWorkload] = None,
+) -> ServiceModeResult:
+    """One live service run sized from the experiment scale.
+
+    The service builds its own (small) workload: the run is wall-clock
+    bound, so it uses a capped node count instead of the shared
+    engine-scale workload (``workload`` is accepted for registry symmetry
+    and ignored).
+    """
+    from ..service.demo import run_demo_sync
+
+    scale = scale or ExperimentScale.small()
+    report = run_demo_sync(
+        num_users=min(scale.num_users, MAX_SERVICE_NODES),
+        num_queries=min(scale.num_queries, MAX_SERVICE_QUERIES),
+        seed=scale.seed,
+    )
+    return ServiceModeResult(report=report)

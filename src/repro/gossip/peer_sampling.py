@@ -15,12 +15,18 @@ as a request and the partner's view comes back as the reply.  Under a
 latency transport the exchange may be deferred, in which case the partner
 merges when the engine drains the queue and the initiator merges when the
 reply message eventually arrives (:meth:`P3QNode.handle_message`).
+
+The protocol is sans-io: :meth:`run_cycle_effects` yields
+:mod:`repro.simulator.effects` and never touches the network, so the cycle
+engine (:func:`~repro.simulator.effects.drive`) and the asyncio service
+runtime execute the same core.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..simulator.effects import ProbeEffect, RequestEffect, WireEffects, drive
 from ..simulator.network import Network
 from ..simulator.transport import VIEW_RANDOM, DigestAdvertisement, Envelope
 
@@ -38,14 +44,18 @@ class PeerSamplingProtocol:
         (empty view, partner offline, or message lost -- the slot is simply
         lost for this cycle, as in the paper's churn experiments).
         """
+        return drive(self.run_cycle_effects(initiator), network)
+
+    def run_cycle_effects(self, initiator) -> WireEffects:
+        """Sans-io core of :meth:`run_cycle` (yields wire effects)."""
         partner_id = initiator.random_view.random_partner(initiator.rng)
         if partner_id is None:
             return None
-        if network.try_contact(partner_id) is None:
+        if not (yield ProbeEffect(partner_id)):
             return None
 
         sent = tuple(initiator.random_view.digests()) + (initiator.own_digest(),)
-        dispatch = network.transport.request(
+        dispatch = yield RequestEffect(
             initiator.node_id,
             partner_id,
             DigestAdvertisement(digests=sent, view=VIEW_RANDOM),

@@ -31,6 +31,16 @@ control round-trips in every transport -- a lossy transport may drop them
 latency transport only delays the *top-level* advertisement, never the
 sub-requests of an exchange already being processed.
 
+The protocol is sans-io: every operation with I/O is a generator yielding
+:mod:`repro.simulator.effects` (requests, sends, reachability probes) and
+receiving the outcomes back at the ``yield``.  The step-2/3 round-trips
+*nested inside* an exchange are what forces the generator shape -- a flat
+"return the outbound messages" API could not express a handler that needs
+an answer mid-flight.  The cycle engine drives the generators through
+:func:`~repro.simulator.effects.drive` (bit-identical to the pre-generator
+code); the asyncio service runtime awaits the same generators over a
+datagram wire.
+
 This module sits on the hot path of every lazy cycle.  It leans on the
 performance layer described in ``docs/ARCHITECTURE.md``: the receiver's item
 and action views (``profile.items`` / ``profile.actions``) are per-version
@@ -43,8 +53,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..data.models import UserProfile
 from ..similarity.metrics import overlap_score_from_actions
+from ..simulator.effects import (
+    PeerDigestEffect,
+    ProbeEffect,
+    RequestEffect,
+    WireEffects,
+    drive,
+)
 from ..simulator.network import Network
 from ..simulator.transport import (
     VIEW_PERSONAL,
@@ -117,24 +133,28 @@ class LazyExchangeProtocol:
         candidates coming from the random view.  Returns the partner id, or
         ``None`` if no partner was reachable.
         """
+        return drive(self.run_cycle_effects(initiator), network)
+
+    def run_cycle_effects(self, initiator) -> WireEffects:
+        """Sans-io core of :meth:`run_cycle` (yields wire effects)."""
         partner_id = initiator.personal_network.select_oldest()
         if partner_id is None:
             partner_id = initiator.random_view.random_partner(initiator.rng)
         if partner_id is None:
-            self.refresh_from_random_view(initiator, network)
+            yield from self.refresh_from_random_view_effects(initiator)
             return None
         if partner_id in initiator.personal_network:
             initiator.personal_network.mark_gossiped(partner_id)
         # Reachability check BEFORE sampling: stored_digest_sample consumes
         # the initiator's RNG stream, and an unreachable partner must not
         # consume it (seed ordering; the transport re-checks on delivery).
-        if network.try_contact(partner_id) is None:
+        if not (yield ProbeEffect(partner_id)):
             # Partner departed: the cycle's slot is lost, but the random view
             # is still a source of fresh candidates.
-            self.refresh_from_random_view(initiator, network)
+            yield from self.refresh_from_random_view_effects(initiator)
             return None
-        exchanged = self.exchange(initiator, partner_id, network)
-        self.refresh_from_random_view(initiator, network)
+        exchanged = yield from self.exchange_effects(initiator, partner_id)
+        yield from self.refresh_from_random_view_effects(initiator)
         return partner_id if exchanged else None
 
     def exchange(self, initiator, partner_id: int, network: Network) -> bool:
@@ -144,15 +164,21 @@ class LazyExchangeProtocol:
         latency transport -- it will complete when the queue drains), and
         ``False`` when the advertisement was lost.
         """
+        return drive(self.exchange_effects(initiator, partner_id), network)
+
+    def exchange_effects(self, initiator, partner_id: int) -> WireEffects:
+        """Sans-io core of :meth:`exchange` (yields wire effects)."""
         sent = tuple(initiator.stored_digest_sample(self.exchange_size))
-        dispatch = network.transport.request(
+        dispatch = yield RequestEffect(
             initiator.node_id,
             partner_id,
             DigestAdvertisement(digests=sent, view=VIEW_PERSONAL),
             account=self.account_traffic,
         )
         if dispatch.reply is not None:
-            self.integrate(initiator, partner_id, dispatch.reply.digests, network)
+            yield from self.integrate_effects(
+                initiator, partner_id, dispatch.reply.digests
+            )
             return True
         return dispatch.deferred
 
@@ -161,6 +187,15 @@ class LazyExchangeProtocol:
     def handle_advertisement(self, receiver, envelope: Envelope) -> Optional[DigestAdvertisement]:
         """Process an incoming lazy advertisement; reply with ours when asked.
 
+        Driven against the receiver's live network (the cycle engine's
+        synchronous path); the service runtime awaits
+        :meth:`handle_advertisement_effects` instead.
+        """
+        return drive(self.handle_advertisement_effects(receiver, envelope), receiver.network)
+
+    def handle_advertisement_effects(self, receiver, envelope: Envelope) -> WireEffects:
+        """Sans-io core of :meth:`handle_advertisement`.
+
         The reply sample is drawn *before* integration, matching the seed's
         order (both samples were taken before either side integrated).
         """
@@ -168,26 +203,24 @@ class LazyExchangeProtocol:
         if envelope.expects_reply:
             digests = tuple(receiver.stored_digest_sample(self.exchange_size))
             reply = DigestAdvertisement(digests=digests, view=VIEW_PERSONAL)
-        self.integrate(
+        yield from self.integrate_effects(
             receiver,
             envelope.sender,
             envelope.message.digests,
-            receiver.network,
             query_id=envelope.query_id,
         )
         return reply
 
     # -- transport round-trips ------------------------------------------------
 
-    def _fetch_common_actions(
+    def _fetch_common_actions_effects(
         self,
         receiver,
         provider_id: int,
         subject_id: int,
         items: Set[int],
-        network: Network,
         query_id: Optional[int] = None,
-    ) -> Optional[Set[int]]:
+    ) -> WireEffects:
         """Step-2 round-trip: the subject's actions on the common items.
 
         The reply carries interned action ids (see
@@ -196,7 +229,7 @@ class LazyExchangeProtocol:
         ``items`` is handed to the message as-is (no defensive copy: this is
         the hot path and every handler treats message payloads as read-only).
         """
-        dispatch = network.transport.request(
+        dispatch = yield RequestEffect(
             receiver.node_id,
             provider_id,
             CommonItemsRequest(subject_id=subject_id, items=items),
@@ -205,16 +238,15 @@ class LazyExchangeProtocol:
         )
         return dispatch.reply.actions if dispatch.reply is not None else None
 
-    def _fetch_profile(
+    def _fetch_profile_effects(
         self,
         receiver,
         provider_id: int,
         subject_id: int,
-        network: Network,
         query_id: Optional[int] = None,
-    ) -> Optional[UserProfile]:
+    ) -> WireEffects:
         """Step-3 round-trip: a full profile replica from its holder."""
-        dispatch = network.transport.request(
+        dispatch = yield RequestEffect(
             receiver.node_id,
             provider_id,
             FullProfileRequest(subject_id=subject_id),
@@ -238,6 +270,19 @@ class LazyExchangeProtocol:
         Returns the list of user ids that were added to / refreshed in the
         receiver's personal network.
         """
+        return drive(
+            self.integrate_effects(receiver, provider_id, digests, query_id=query_id),
+            network,
+        )
+
+    def integrate_effects(
+        self,
+        receiver,
+        provider_id: int,
+        digests: Iterable[ProfileDigest],
+        query_id: Optional[int] = None,
+    ) -> WireEffects:
+        """Sans-io core of :meth:`integrate` (yields wire effects)."""
         own_ids = receiver.profile.action_ids
 
         #: (digest, gated) in advertisement order; ``gated`` marks unknown
@@ -274,8 +319,8 @@ class LazyExchangeProtocol:
         fetched_profiles: Set[int] = set()
         for digest in candidates:
             if not self.three_step:
-                profile = self._fetch_profile(
-                    receiver, provider_id, digest.user_id, network, query_id
+                profile = yield from self._fetch_profile_effects(
+                    receiver, provider_id, digest.user_id, query_id
                 )
                 if profile is None:
                     continue
@@ -290,8 +335,8 @@ class LazyExchangeProtocol:
             common_items = common_by_user.get(digest.user_id)
             if common_items is None:  # known-but-changed neighbour, not gated
                 common_items = self._common_items(receiver, digest)
-            actions = self._fetch_common_actions(
-                receiver, provider_id, digest.user_id, common_items, network, query_id
+            actions = yield from self._fetch_common_actions_effects(
+                receiver, provider_id, digest.user_id, common_items, query_id
             )
             if actions is None:
                 continue
@@ -308,8 +353,8 @@ class LazyExchangeProtocol:
             for user_id in sorted(wanted):
                 if user_id in fetched_profiles:
                     continue
-                profile = self._fetch_profile(
-                    receiver, provider_id, user_id, network, query_id
+                profile = yield from self._fetch_profile_effects(
+                    receiver, provider_id, user_id, query_id
                 )
                 if profile is None:
                     continue
@@ -327,6 +372,16 @@ class LazyExchangeProtocol:
         evaluated is skipped, so stable views do not generate traffic every
         cycle.
         """
+        return drive(self.refresh_from_random_view_effects(peer), network)
+
+    def refresh_from_random_view_effects(self, peer) -> WireEffects:
+        """Sans-io core of :meth:`refresh_from_random_view`.
+
+        The candidate's *current* digest is requested through a
+        :class:`~repro.simulator.effects.PeerDigestEffect` carrying the
+        random-view copy as fallback: the engine answers with the live
+        digest (the seed's behaviour), a real network with the fallback.
+        """
         own_ids = peer.profile.action_ids
         added: List[int] = []
         evaluated = self._evaluated.get(peer.node_id)
@@ -343,39 +398,38 @@ class LazyExchangeProtocol:
                 # no item with us cannot enter the personal network.
                 continue
             subject_id = digest.user_id
-            if network.try_contact(subject_id) is None:
+            if not (yield ProbeEffect(subject_id)):
                 continue
             if not self.three_step:
                 # Ablation variant: fetch the whole profile straight away.
-                profile = self._fetch_profile(peer, subject_id, subject_id, network)
+                profile = yield from self._fetch_profile_effects(
+                    peer, subject_id, subject_id
+                )
                 if profile is None:
                     continue
                 score = overlap_score_from_actions(own_ids, profile.action_ids)
-                if score > 0 and peer.personal_network.consider(
-                    subject_id, score, self._subject_digest(network, subject_id)
-                ):
-                    added.append(subject_id)
-                    peer.personal_network.store_profile(subject_id, profile)
+                if score > 0:
+                    subject_digest = yield PeerDigestEffect(subject_id, digest)
+                    if peer.personal_network.consider(subject_id, score, subject_digest):
+                        added.append(subject_id)
+                        peer.personal_network.store_profile(subject_id, profile)
                 continue
             common_items = self._common_items(peer, digest)
-            actions = self._fetch_common_actions(
-                peer, subject_id, subject_id, common_items, network
+            actions = yield from self._fetch_common_actions_effects(
+                peer, subject_id, subject_id, common_items
             )
             if actions is None:
                 continue
             score = overlap_score_from_actions(own_ids, actions)
             if score <= 0:
                 continue
-            if peer.personal_network.consider(
-                subject_id, score, self._subject_digest(network, subject_id)
-            ):
+            subject_digest = yield PeerDigestEffect(subject_id, digest)
+            if peer.personal_network.consider(subject_id, score, subject_digest):
                 added.append(subject_id)
                 if subject_id in peer.personal_network.profiles_wanted():
-                    profile = self._fetch_profile(peer, subject_id, subject_id, network)
+                    profile = yield from self._fetch_profile_effects(
+                        peer, subject_id, subject_id
+                    )
                     if profile is not None:
                         peer.personal_network.store_profile(subject_id, profile)
         return added
-
-    def _subject_digest(self, network: Network, subject_id: int) -> ProfileDigest:
-        """The subject's own current digest (she was just contacted)."""
-        return network.node(subject_id).own_digest()

@@ -80,24 +80,56 @@ class P3QConfig:
     stats_flush_every: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.network_size <= 0:
-            raise ValueError("network_size must be positive")
-        if self.random_view_size <= 0:
-            raise ValueError("random_view_size must be positive")
-        if self.k <= 0:
-            raise ValueError("k must be positive")
+        self.validate()
+
+    def validate(self) -> None:
+        """Validate every field once, centrally.
+
+        All range checks live here (constructors downstream trust a config
+        that survived construction); error messages name the offending
+        field and the accepted range.  Raises ``ValueError`` for
+        out-of-range values and ``TypeError`` for wrong condition spec
+        types.
+        """
+        positive = (
+            ("network_size", self.network_size),
+            ("random_view_size", self.random_view_size),
+            ("k", self.k),
+            ("exchange_size", self.exchange_size),
+            ("digest_bits", self.digest_bits),
+            ("digest_hashes", self.digest_hashes),
+        )
+        for name, value in positive:
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        for name, value in (
+            ("lazy_cycle_seconds", self.lazy_cycle_seconds),
+            ("eager_cycle_seconds", self.eager_cycle_seconds),
+        ):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive (seconds), got {value!r}")
         if not 0.0 <= self.alpha <= 1.0:
-            raise ValueError("alpha must be in [0, 1]")
-        if isinstance(self.storage, int) and self.storage < 0:
-            raise ValueError("storage must be non-negative")
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha!r}")
+        if isinstance(self.storage, int):
+            if self.storage < 0:
+                raise ValueError(f"storage must be non-negative, got {self.storage!r}")
+        else:
+            for user_id, budget in self.storage.items():
+                if budget < 0:
+                    raise ValueError(
+                        f"storage must be non-negative for every user; "
+                        f"user {user_id} has {budget!r}"
+                    )
         if self.transport not in TRANSPORT_NAMES:
             raise ValueError(
                 f"transport must be one of {TRANSPORT_NAMES}, got {self.transport!r}"
             )
         if not 0.0 <= self.loss_rate <= 1.0:
-            raise ValueError("loss_rate must be in [0, 1]")
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate!r}")
         if self.delay_cycles < 0:
-            raise ValueError("delay_cycles must be non-negative")
+            raise ValueError(
+                f"delay_cycles must be non-negative, got {self.delay_cycles!r}"
+            )
         # Reject conditions the named transport would silently ignore: a
         # config carrying them describes a run that will not happen.
         if self.transport == "direct" and (self.loss_rate or self.delay_cycles):
@@ -126,14 +158,17 @@ class P3QConfig:
             )
         validate_fraction("free_rider_fraction", self.free_rider_fraction)
         if self.workers < 1:
-            raise ValueError("workers must be positive")
+            raise ValueError(f"workers must be positive, got {self.workers!r}")
         if self.engine_executor not in ("auto", "inline", "fork", "pool"):
             raise ValueError(
                 f"engine_executor must be 'auto', 'inline', 'fork' or 'pool', "
                 f"got {self.engine_executor!r}"
             )
         if self.stats_flush_every is not None and self.stats_flush_every < 1:
-            raise ValueError("stats_flush_every must be positive when set")
+            raise ValueError(
+                f"stats_flush_every must be positive when set, "
+                f"got {self.stats_flush_every!r}"
+            )
 
     def storage_for(self, user_id: int) -> int:
         """The stored-profile budget ``c`` of one user."""

@@ -28,6 +28,11 @@ profiles elsewhere keep recall from collapsing -- the transport reports
 destination already processed) or the partial result (pure recall loss).  A latency transport
 defers the whole forward: the initiator hands off responsibility (empty
 list) and the α share merges back whenever the ``RemainingReturn`` arrives.
+
+Like the lazy layer, the protocol is sans-io: the ``*_effects`` generators
+yield :mod:`repro.simulator.effects` and are driven by either the cycle
+engine (:func:`~repro.simulator.effects.drive`, bit-identical to the
+pre-generator code) or the asyncio service runtime.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..data.queries import Query
+from ..simulator.effects import ProbeEffect, RequestEffect, SendEffect, WireEffects, drive
 from ..simulator.network import Network
 from ..simulator.transport import REPLY_DROPPED, QueryForward, QueryResult
 from ..gossip.profile_exchange import LazyExchangeProtocol
@@ -77,6 +83,14 @@ class EagerGossipProtocol:
         remaining-list member.  Unreachable (departed) candidates are skipped,
         which is how churn slows the processing down without deadlocking it.
         """
+        return drive(self.select_destination_effects(initiator, remaining), network)
+
+    def select_destination_effects(
+        self,
+        initiator: "EagerParticipant",
+        remaining: Sequence[int],
+    ) -> WireEffects:
+        """Sans-io core of :meth:`select_destination`."""
         if not remaining:
             return None
         in_network = [uid for uid in remaining if uid in initiator.personal_network]
@@ -91,7 +105,7 @@ class EagerGossipProtocol:
         initiator.rng.shuffle(others)
         ordered.extend(others)
         for candidate in ordered:
-            if network.try_contact(candidate) is not None:
+            if (yield ProbeEffect(candidate)):
                 return candidate
         return None
 
@@ -117,20 +131,30 @@ class EagerGossipProtocol:
         share; the α share is gone -- retrying would duplicate work the
         destination already performed).
         """
+        return drive(self.gossip_query_effects(initiator, query, remaining, cycle), network)
+
+    def gossip_query_effects(
+        self,
+        initiator: "EagerParticipant",
+        query: Query,
+        remaining: Sequence[int],
+        cycle: int,
+    ) -> WireEffects:
+        """Sans-io core of :meth:`gossip_query` (yields wire effects)."""
         remaining = list(remaining)
         if not remaining:
             return remaining
-        destination_id = self.select_destination(initiator, remaining, network)
+        destination_id = yield from self.select_destination_effects(initiator, remaining)
         if destination_id is None:
             return remaining
         # Reachability check BEFORE mark_gossiped: an unreachable destination
         # must not have its personal-network timestamp reset (seed ordering).
-        if network.try_contact(destination_id) is None:
+        if not (yield ProbeEffect(destination_id)):
             return remaining
         if destination_id in initiator.personal_network:
             initiator.personal_network.mark_gossiped(destination_id)
 
-        dispatch = network.transport.request(
+        dispatch = yield RequestEffect(
             initiator.node_id,
             destination_id,
             QueryForward(query=query, remaining=tuple(remaining), cycle=cycle),
@@ -145,7 +169,7 @@ class EagerGossipProtocol:
         returned = list(dispatch.reply.remaining)
         if self.maintain_networks:
             # "Maintain personal network as in lazy mode" (Algorithm 3, 12/24).
-            self.lazy.exchange(initiator, destination_id, network)
+            yield from self.lazy.exchange_effects(initiator, destination_id)
         return returned
 
     # -- destination-side processing --------------------------------------------
@@ -163,6 +187,24 @@ class EagerGossipProtocol:
         Returns ``(returned_list, kept_list)``: the share sent back to the
         initiator and the share the destination takes responsibility for.
         Also computes and ships the partial result to the querier.
+        """
+        return drive(
+            self.process_at_destination_effects(destination, query, remaining, cycle),
+            network,
+        )
+
+    def process_at_destination_effects(
+        self,
+        destination: "EagerParticipant",
+        query: Query,
+        remaining: Sequence[int],
+        cycle: int,
+    ) -> WireEffects:
+        """Sans-io core of :meth:`process_at_destination`.
+
+        The contribution bookkeeping (read ``contributed_profiles``, mark,
+        ship) runs without an intervening ``yield``, so concurrent forwards
+        handled by the asyncio runtime cannot double-contribute a profile.
         """
         remaining = list(remaining)
         already = destination.contributed_profiles(query.query_id)
@@ -183,8 +225,8 @@ class EagerGossipProtocol:
             profiles = [destination.profile_for_query(uid) for uid in found]
             scores = partial_scores(profiles, query)
             destination.mark_contributed(query.query_id, found)
-            self._send_partial_result(
-                destination, query, scores, found, network, cycle
+            yield from self._send_partial_result_effects(
+                destination, query, scores, found, cycle
             )
 
         keep_count = int((1.0 - self.alpha) * len(left))
@@ -194,17 +236,16 @@ class EagerGossipProtocol:
         returned = sorted(set(left) - set(kept))
         return returned, kept
 
-    def _send_partial_result(
+    def _send_partial_result_effects(
         self,
         sender: "EagerParticipant",
         query: Query,
         scores: Dict[int, float],
         contributors: Sequence[int],
-        network: Network,
         cycle: int,
-    ) -> None:
-        if network.try_contact(query.querier) is None:
-            return
+    ) -> WireEffects:
+        if not (yield ProbeEffect(query.querier)):
+            return None
         partial = PartialResult(
             query_id=query.query_id,
             sender=sender.node_id,
@@ -212,13 +253,14 @@ class EagerGossipProtocol:
             contributors=tuple(sorted(contributors)),
             cycle=cycle,
         )
-        network.transport.send(
+        yield SendEffect(
             sender.node_id,
             query.querier,
             QueryResult(partial=partial),
             query_id=query.query_id,
             account=self.account_traffic,
         )
+        return None
 
 
 class EagerParticipant:

@@ -38,6 +38,7 @@ from ..gossip.digest import DigestCache, ProfileDigest
 from ..gossip.peer_sampling import PeerSamplingProtocol
 from ..gossip.profile_exchange import LazyExchangeProtocol
 from ..gossip.views import PersonalNetwork, RandomView
+from ..simulator.effects import WireEffects, drive
 from ..simulator.engine import PHASE_EAGER, PHASE_LAZY
 from ..simulator.node import Node
 from ..simulator.transport import (
@@ -195,27 +196,35 @@ class P3QNode(Node):
 
     def on_cycle(self, cycle: int, phase: str) -> None:
         if phase == PHASE_LAZY:
-            self._run_lazy_cycle()
+            drive(self.lazy_round_effects(), self.network)
         elif phase == PHASE_EAGER:
-            self._run_eager_cycle(cycle)
+            drive(self.eager_round_effects(cycle), self.network)
 
-    def _run_lazy_cycle(self) -> None:
+    # ------------------------------------------------------- sans-io rounds
+    #
+    # The two round generators below are the node's runtime-agnostic cycle
+    # bodies: the engine drives them synchronously (above), the asyncio
+    # service runtime awaits them from its gossip / eager timers.
+
+    def lazy_round_effects(self) -> WireEffects:
+        """One lazy round: peer sampling plus the Algorithm 1 exchange."""
         # Bottom layer and top layer run in parallel at each lazy cycle.
-        self.peer_sampling.run_cycle(self, self.network)
-        self.lazy.run_cycle(self, self.network)
+        yield from self.peer_sampling.run_cycle_effects(self)
+        yield from self.lazy.run_cycle_effects(self)
 
-    def _run_eager_cycle(self, cycle: int) -> None:
+    def eager_round_effects(self, cycle: int) -> WireEffects:
+        """One eager round over every query this node participates in."""
         # Own queries: the querier is also a gossip initiator (Algorithm 2).
         for session in self.sessions.values():
             if session.remaining:
-                session.remaining = self.eager.gossip_query(
-                    self, session.query, session.remaining, self.network, cycle
+                session.remaining = yield from self.eager.gossip_query_effects(
+                    self, session.query, session.remaining, cycle
                 )
         # Queries this node was reached by (Algorithm 3, initiator role).
         for state in self.forwarded.values():
             if state.active:
-                state.remaining = self.eager.gossip_query(
-                    self, state.query, state.remaining, self.network, cycle
+                state.remaining = yield from self.eager.gossip_query_effects(
+                    self, state.query, state.remaining, cycle
                 )
 
     # ------------------------------------------------------------ query (own)
@@ -286,6 +295,30 @@ class P3QNode(Node):
             return None
         return handler(self, envelope)
 
+    def handle_message_effects(self, envelope: Envelope) -> WireEffects:
+        """Sans-io twin of :meth:`handle_message` (yields wire effects).
+
+        The asyncio service runtime awaits this generator for every inbound
+        frame; its return value is the reply message (or ``None``).  The two
+        handlers that perform nested round-trips mid-handling -- a personal
+        digest advertisement (integration sub-requests) and a query forward
+        (partial-result ship plus the alpha split) -- route through their
+        effect generators; every other handler is pure local state and
+        dispatches through the same table as the synchronous path.
+        """
+        message = envelope.message
+        mtype = type(message)
+        if mtype is DigestAdvertisement:
+            if message.view == VIEW_RANDOM:
+                return self.peer_sampling.handle_advertisement(self, envelope)
+            return (yield from self.lazy.handle_advertisement_effects(self, envelope))
+        if mtype is QueryForward:
+            return (yield from self._handle_query_forward_effects(envelope))
+        handler = _MESSAGE_HANDLERS.get(mtype)
+        if handler is None:
+            return None
+        return handler(self, envelope)
+
     def _handle_common_items_request(self, envelope: Envelope) -> CommonItemsReply:
         message = envelope.message
         if self.free_rider:
@@ -329,6 +362,21 @@ class P3QNode(Node):
         returned, kept = self.eager.process_at_destination(
             self, query, list(message.remaining), self.network, message.cycle
         )
+        return self._absorb_forward(query, returned, kept)
+
+    def _handle_query_forward_effects(self, envelope: Envelope) -> WireEffects:
+        """Sans-io twin of :meth:`_handle_query_forward`."""
+        message = envelope.message
+        query = message.query
+        if self.free_rider:
+            return RemainingReturn(query_id=query.query_id, remaining=message.remaining)
+        returned, kept = yield from self.eager.process_at_destination_effects(
+            self, query, list(message.remaining), message.cycle
+        )
+        return self._absorb_forward(query, returned, kept)
+
+    def _absorb_forward(self, query: Query, returned: List[int], kept: List[int]) -> RemainingReturn:
+        """Merge the kept share into the forwarded-list state; build the return."""
         if kept:
             state = self.forwarded.get(query.query_id)
             if state is None:

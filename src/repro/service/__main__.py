@@ -1,0 +1,12 @@
+"""``python -m repro.service`` -- deprecated shim for ``python -m repro service``."""
+
+import sys
+import warnings
+
+from .cli import main
+
+warnings.warn(
+    "'python -m repro.service' is deprecated; use 'python -m repro service'",
+    DeprecationWarning,
+)
+sys.exit(main())

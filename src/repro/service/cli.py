@@ -1,0 +1,107 @@
+"""``python -m repro service``: run the live asyncio deployment.
+
+Two modes share :func:`repro.service.demo.run_demo`:
+
+* ``--demo`` -- a human-facing run printing recall, coverage, bytes by
+  kind and the invariant audit;
+* ``--smoke`` -- the CI gate: same run, but the exit status is nonzero
+  unless at least one query completed and the recorded trace passed the
+  invariant checkers.  ``--trace`` dumps the trace as JSON Lines (written
+  before the audit, so a failing run still leaves the artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .demo import (
+    DEFAULT_NUM_QUERIES,
+    DEFAULT_NUM_USERS,
+    DEFAULT_STORAGE,
+    demo_succeeded,
+    format_report,
+    run_demo_sync,
+)
+from .runtime import WIRE_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from ..cli import add_common_options
+
+    parser = argparse.ArgumentParser(
+        prog="repro service",
+        description="P3Q as a live asyncio service speaking serialized frames.",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="run the end-to-end demo and print the report"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="demo with a strict exit status (CI): fail unless >=1 query "
+        "completed and the trace passed the invariant checkers",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=DEFAULT_NUM_USERS, metavar="N",
+        help=f"number of service nodes (default: {DEFAULT_NUM_USERS})",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=DEFAULT_NUM_QUERIES, metavar="N",
+        help=f"number of queries to issue (default: {DEFAULT_NUM_QUERIES})",
+    )
+    parser.add_argument(
+        "--storage", type=int, default=DEFAULT_STORAGE, metavar="C",
+        help=f"profiles stored per node (default: {DEFAULT_STORAGE}; keep it "
+        "below the personal-network size or queries never touch the wire)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="per-query completion deadline in seconds (default: the "
+        "ServiceConfig default)",
+    )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="FILE",
+        help="dump the recorded WireEvent trace to FILE as JSON Lines",
+    )
+    add_common_options(parser, workers=False, transport_choices=WIRE_NAMES)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not (args.demo or args.smoke):
+        parser.error("choose a mode: --demo (human run) or --smoke (CI gate)")
+    if args.nodes < 3:
+        parser.error("--nodes must be at least 3")
+    if args.queries < 1:
+        parser.error("--queries must be positive")
+
+    report = run_demo_sync(
+        num_users=args.nodes,
+        num_queries=args.queries,
+        seed=args.seed,
+        wire=args.transport,
+        deadline=args.deadline,
+        storage=args.storage,
+        trace_path=args.trace,
+    )
+    print(format_report(report))
+    if not demo_succeeded(report):
+        if args.smoke:
+            print(
+                "service smoke FAILED: "
+                f"{report['completed']}/{report['num_queries']} queries completed, "
+                f"invariant error: {report['invariant_error']!r}",
+                file=sys.stderr,
+            )
+            return 1
+        if report["invariant_error"] is not None:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

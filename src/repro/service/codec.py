@@ -1,0 +1,337 @@
+"""Wire codec: every transport :class:`Message` as a length-prefixed frame.
+
+The simulator hands message *objects* between nodes; the service runtime
+hands **bytes**.  This module is the single encoding layer in between: a
+type-tagged JSON body under a 4-byte big-endian length prefix.  JSON keeps
+frames debuggable (``tcpdump`` of a demo run is readable) and needs nothing
+outside the standard library; the byte *accounting* still uses the paper's
+cost model (:func:`repro.gossip.sizes.total_bytes`), never the frame length,
+so service-mode traffic numbers stay comparable with the simulator's.
+
+Design rules:
+
+* **Total coverage, loudly enforced.**  ``_ENCODERS`` must cover every
+  concrete subclass of :class:`Message`; encoding an unregistered type
+  raises ``TypeError`` immediately and the round-trip property test
+  enumerates ``Message.__subclasses__()`` so a new message type added
+  without codec support fails the suite, mirroring how
+  :mod:`repro.gossip.sizes` pins its size table.
+* **Process-portable payloads.**  Interned action ids are process-local
+  (:mod:`repro.data.interning`), so :class:`CommonItemsReply` travels as
+  explicit ``(item, tag)`` pairs and is re-interned on decode; Bloom
+  filters travel as ``(num_bits, num_hashes, hex bits, count)`` and are
+  rebuilt with :meth:`BloomFilter.from_state`.  Frames decode identically
+  in another process (the UDP transport) and in-process (the loopback).
+* **Faithful round-trips.**  ``decode_message(encode_message(m))`` must
+  compare equal to ``m`` field by field and price identically under
+  ``total_bytes`` -- the property test asserts both.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from ..bloom import BloomFilter
+from ..data.interning import action_of, intern_action
+from ..data.models import UserProfile
+from ..data.queries import Query
+from ..gossip.digest import ProfileDigest
+from ..p3q.query import PartialResult
+from ..simulator.transport import (
+    CommonItemsReply,
+    CommonItemsRequest,
+    DigestAdvertisement,
+    Envelope,
+    FullProfilePush,
+    FullProfileRequest,
+    Message,
+    QueryForward,
+    QueryResult,
+    RemainingReturn,
+)
+
+#: Length-prefix format: one unsigned 32-bit big-endian body length.
+_LEN = struct.Struct(">I")
+
+#: Conservative single-datagram budget for the UDP transport (beneath the
+#: common 64 KiB UDP payload ceiling, with headroom for the prefix).  The
+#: in-process loopback has no such limit; the UDP wire refuses larger
+#: frames loudly instead of truncating them.
+MAX_DATAGRAM_BYTES = 60_000
+
+
+# ---------------------------------------------------------------- primitives
+
+
+def _encode_digest(digest: ProfileDigest) -> Dict[str, Any]:
+    bloom = digest.bloom
+    return {
+        "u": digest.user_id,
+        "v": digest.version,
+        "nb": bloom.num_bits,
+        "nh": bloom.num_hashes,
+        "c": bloom.approximate_count,
+        "b": format(bloom.raw_bits, "x"),
+    }
+
+
+def _decode_digest(obj: Dict[str, Any]) -> ProfileDigest:
+    bloom = BloomFilter.from_state(obj["nb"], obj["nh"], int(obj["b"], 16), obj["c"])
+    return ProfileDigest(user_id=obj["u"], version=obj["v"], bloom=bloom)
+
+
+def _encode_profile(profile: UserProfile) -> Dict[str, Any]:
+    return {
+        "u": profile.user_id,
+        "v": profile.version,
+        "a": sorted(profile.actions),
+    }
+
+
+def _decode_profile(obj: Dict[str, Any]) -> UserProfile:
+    profile = UserProfile(obj["u"], ((item, tag) for item, tag in obj["a"]))
+    # The live version counts every mutation since birth, not just the
+    # actions currently present; replica freshness tracking needs it intact.
+    profile._version = obj["v"]
+    return profile
+
+
+def _encode_query(query: Query) -> Dict[str, Any]:
+    return {
+        "id": query.query_id,
+        "qr": query.querier,
+        "t": list(query.tags),
+        "si": query.source_item,
+    }
+
+
+def _decode_query(obj: Dict[str, Any]) -> Query:
+    return Query(
+        query_id=obj["id"],
+        querier=obj["qr"],
+        tags=tuple(obj["t"]),
+        source_item=obj["si"],
+    )
+
+
+def _encode_partial(partial: PartialResult) -> Dict[str, Any]:
+    return {
+        "id": partial.query_id,
+        "s": partial.sender,
+        # JSON objects force string keys; item ids stay ints as pair lists.
+        "sc": sorted(partial.scores.items()),
+        "co": list(partial.contributors),
+        "cy": partial.cycle,
+    }
+
+
+def _decode_partial(obj: Dict[str, Any]) -> PartialResult:
+    return PartialResult(
+        query_id=obj["id"],
+        sender=obj["s"],
+        scores={item: score for item, score in obj["sc"]},
+        contributors=tuple(obj["co"]),
+        cycle=obj["cy"],
+    )
+
+
+# ------------------------------------------------------------- message table
+
+
+def _encode_digest_advertisement(m: DigestAdvertisement) -> Dict[str, Any]:
+    return {"d": [_encode_digest(d) for d in m.digests], "vw": m.view}
+
+
+def _encode_common_items_request(m: CommonItemsRequest) -> Dict[str, Any]:
+    return {"su": m.subject_id, "it": sorted(m.items)}
+
+
+def _encode_common_items_reply(m: CommonItemsReply) -> Dict[str, Any]:
+    actions = None
+    if m.actions is not None:
+        actions = sorted(action_of(action_id) for action_id in m.actions)
+    return {"su": m.subject_id, "a": actions}
+
+
+def _decode_common_items_reply(obj: Dict[str, Any]) -> CommonItemsReply:
+    actions = obj["a"]
+    if actions is not None:
+        actions = frozenset(intern_action(item, tag) for item, tag in actions)
+    return CommonItemsReply(subject_id=obj["su"], actions=actions)
+
+
+def _encode_full_profile_push(m: FullProfilePush) -> Dict[str, Any]:
+    profile = None if m.profile is None else _encode_profile(m.profile)
+    return {"su": m.subject_id, "p": profile}
+
+
+def _decode_full_profile_push(obj: Dict[str, Any]) -> FullProfilePush:
+    profile = None if obj["p"] is None else _decode_profile(obj["p"])
+    return FullProfilePush(subject_id=obj["su"], profile=profile)
+
+
+#: ``type -> (wire tag, encoder)``.  Every concrete Message subclass MUST
+#: appear here; the round-trip test enumerates ``Message.__subclasses__()``.
+_ENCODERS: Dict[Type[Message], Tuple[str, Callable[[Any], Dict[str, Any]]]] = {
+    DigestAdvertisement: ("digests", _encode_digest_advertisement),
+    CommonItemsRequest: ("common_req", _encode_common_items_request),
+    CommonItemsReply: ("common_rep", _encode_common_items_reply),
+    FullProfileRequest: ("profile_req", lambda m: {"su": m.subject_id}),
+    FullProfilePush: ("profile_push", _encode_full_profile_push),
+    QueryForward: (
+        "query_fwd",
+        lambda m: {"q": _encode_query(m.query), "rm": list(m.remaining), "cy": m.cycle},
+    ),
+    RemainingReturn: (
+        "remaining_ret",
+        lambda m: {"id": m.query_id, "rm": list(m.remaining)},
+    ),
+    QueryResult: ("query_res", lambda m: {"pr": _encode_partial(m.partial)}),
+}
+
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], Message]] = {
+    "digests": lambda o: DigestAdvertisement(
+        digests=tuple(_decode_digest(d) for d in o["d"]), view=o["vw"]
+    ),
+    "common_req": lambda o: CommonItemsRequest(
+        subject_id=o["su"], items=frozenset(o["it"])
+    ),
+    "common_rep": _decode_common_items_reply,
+    "profile_req": lambda o: FullProfileRequest(subject_id=o["su"]),
+    "profile_push": _decode_full_profile_push,
+    "query_fwd": lambda o: QueryForward(
+        query=_decode_query(o["q"]), remaining=tuple(o["rm"]), cycle=o["cy"]
+    ),
+    "remaining_ret": lambda o: RemainingReturn(
+        query_id=o["id"], remaining=tuple(o["rm"])
+    ),
+    "query_res": lambda o: QueryResult(partial=_decode_partial(o["pr"])),
+}
+
+
+class WireCodec:
+    """Serialize the message catalogue to frames and back.
+
+    Three layers, each usable on its own:
+
+    * :meth:`encode_message` / :meth:`decode_message` -- one message as a
+      JSON-compatible dict (the property-tested core);
+    * :meth:`encode_request` / :meth:`encode_reply` / :meth:`encode_send` /
+      :meth:`decode` -- a full runtime frame (addressing, rpc correlation
+      id, delivery status) as bytes;
+    * :meth:`frame` / :meth:`feed` -- the length-prefix stream layer.
+    """
+
+    # -- message layer --------------------------------------------------------
+
+    def encode_message(self, message: Message) -> Dict[str, Any]:
+        entry = _ENCODERS.get(type(message))
+        if entry is None:
+            raise TypeError(
+                f"no wire encoding registered for {type(message).__name__}; "
+                "add it to repro.service.codec._ENCODERS/_DECODERS"
+            )
+        tag, encoder = entry
+        body = encoder(message)
+        body["t"] = tag
+        return body
+
+    def decode_message(self, obj: Dict[str, Any]) -> Message:
+        decoder = _DECODERS.get(obj.get("t"))
+        if decoder is None:
+            raise ValueError(f"unknown wire message tag {obj.get('t')!r}")
+        return decoder(obj)
+
+    # -- frame layer ----------------------------------------------------------
+
+    def frame(self, body: Dict[str, Any]) -> bytes:
+        """One length-prefixed frame: 4-byte BE length + compact JSON."""
+        payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        return _LEN.pack(len(payload)) + payload
+
+    def unframe(self, frame: bytes) -> Dict[str, Any]:
+        """Decode exactly one frame (prefix included)."""
+        if len(frame) < _LEN.size:
+            raise ValueError("short frame: missing length prefix")
+        (length,) = _LEN.unpack_from(frame)
+        body = frame[_LEN.size :]
+        if len(body) != length:
+            raise ValueError(f"frame length mismatch: header {length}, body {len(body)}")
+        return json.loads(body.decode("utf-8"))
+
+    def feed(self, buffer: bytes) -> Tuple[list, bytes]:
+        """Split a byte stream into complete frame bodies + leftover bytes."""
+        bodies = []
+        offset = 0
+        while len(buffer) - offset >= _LEN.size:
+            (length,) = _LEN.unpack_from(buffer, offset)
+            end = offset + _LEN.size + length
+            if len(buffer) < end:
+                break
+            bodies.append(json.loads(buffer[offset + _LEN.size : end].decode("utf-8")))
+            offset = end
+        return bodies, buffer[offset:]
+
+    # -- runtime frames -------------------------------------------------------
+
+    def encode_request(self, envelope: Envelope, rpc_id: int) -> bytes:
+        """The forward leg of a round-trip (``expects_reply`` preserved)."""
+        return self.frame(
+            {
+                "op": "req",
+                "rpc": rpc_id,
+                "s": envelope.sender,
+                "r": envelope.receiver,
+                "q": envelope.query_id,
+                "er": envelope.expects_reply,
+                "ac": envelope.account,
+                "m": self.encode_message(envelope.message),
+            }
+        )
+
+    def encode_reply(
+        self, rpc_id: int, status: str, reply: Optional[Message]
+    ) -> bytes:
+        return self.frame(
+            {
+                "op": "rep",
+                "rpc": rpc_id,
+                "st": status,
+                "m": None if reply is None else self.encode_message(reply),
+            }
+        )
+
+    def encode_send(self, envelope: Envelope) -> bytes:
+        """A one-way message (no reply expected, no rpc id)."""
+        return self.frame(
+            {
+                "op": "send",
+                "s": envelope.sender,
+                "r": envelope.receiver,
+                "q": envelope.query_id,
+                "ac": envelope.account,
+                "m": self.encode_message(envelope.message),
+            }
+        )
+
+    def decode(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Parse a frame body: returns the header with ``m`` decoded.
+
+        ``op == "req" | "send"`` bodies additionally carry an ``envelope``
+        key holding a ready :class:`Envelope`.
+        """
+        out = dict(body)
+        if out.get("m") is not None:
+            out["m"] = self.decode_message(out["m"])
+        if out.get("op") in ("req", "send"):
+            out["envelope"] = Envelope(
+                sender=out["s"],
+                receiver=out["r"],
+                message=out["m"],
+                query_id=out.get("q"),
+                expects_reply=out["op"] == "req" and out.get("er", True),
+                account=out.get("ac", True),
+            )
+        return out

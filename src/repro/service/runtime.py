@@ -1,0 +1,569 @@
+"""The asyncio service runtime: P3Q nodes as concurrently running tasks.
+
+The cycle engine executes nodes one after another inside a single loop
+iteration; this runtime executes the *same protocol cores* -- the
+``*_effects`` generators -- as independent asyncio tasks exchanging
+serialized frames:
+
+* each node is a :class:`NodeService`: an inbox task (one sub-task per
+  inbound frame, so nested round-trips between two nodes cannot deadlock),
+  a **gossip timer** firing the lazy round (peer sampling + Algorithm 1)
+  and an **eager timer** firing the query round and folding received
+  partial results into per-tick snapshots -- the timers replace engine
+  cycles;
+* messages travel through a pluggable wire as WireCodec frames: the
+  in-process :class:`InProcWire` (asyncio queues carrying *encoded bytes*)
+  by default, or :class:`UdpWire` (one real UDP socket per node on
+  127.0.0.1, frames bounded by :data:`~repro.service.codec.MAX_DATAGRAM_BYTES`);
+* round-trips are rpc-correlated and guarded by a timeout: a request whose
+  reply does not arrive in time resolves to ``DROPPED``, the same status a
+  lossy transport hands the protocol, so the sans-io cores need no notion
+  of time;
+* per-query **deadlines** replace the engine's cycle cutoffs: a query that
+  has not completed when its deadline expires is reported with whatever
+  coverage it reached.
+
+The runtime wraps a fully built :class:`~repro.p3q.protocol.P3QSimulation`
+-- construction, warm start, churn bookkeeping and the stats collector are
+shared with the simulator -- but never runs its engine.  Byte accounting
+follows the transport's exact rules (priced by ``gossip.sizes`` at send
+time; control messages and ``None``-payload replies free), every wire
+action is recorded as a :class:`~repro.simulator.transport.WireEvent` in a
+:class:`~repro.service.trace.ServiceTrace`, and
+:func:`~repro.service.trace.check_trace` audits the run with the simtest
+invariant checkers.
+
+Two effect outcomes differ from the engine driver by design (documented in
+``docs/ARCHITECTURE.md``):
+
+* ``ProbeEffect`` consults the shared liveness table (the runtime's
+  failure-detector oracle) instead of ``Network.try_contact``;
+* ``PeerDigestEffect`` resolves to the *fallback* digest already held in
+  the random view -- a real peer cannot peek at another process's memory
+  -- where the engine peeks at the live node for seed bit-identity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..data.queries import Query
+from ..gossip.sizes import total_bytes
+from ..p3q.protocol import P3QSimulation
+from ..p3q.query import QuerySession
+from ..simulator.effects import (
+    PeerDigestEffect,
+    ProbeEffect,
+    RequestEffect,
+    SendEffect,
+    WireEffects,
+)
+from ..simulator.transport import (
+    DELIVERED,
+    DROPPED,
+    OP_REPLY,
+    OP_REQUEST,
+    OP_SEND,
+    UNREACHABLE,
+    Dispatch,
+    Envelope,
+    Message,
+    WireEvent,
+)
+from .codec import MAX_DATAGRAM_BYTES, WireCodec
+from .trace import ServiceTrace
+
+#: Wire flavour names accepted by :class:`ServiceConfig.wire`.
+WIRE_INPROC = "inproc"
+WIRE_UDP = "udp"
+WIRE_NAMES = (WIRE_INPROC, WIRE_UDP)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Timing and wiring knobs of a service run."""
+
+    #: Seconds between a node's lazy gossip rounds (engine: one per cycle).
+    gossip_interval: float = 0.05
+    #: Seconds between a node's eager query rounds.
+    eager_interval: float = 0.02
+    #: Round-trip guard: a request unanswered for this long resolves DROPPED.
+    rpc_timeout: float = 5.0
+    #: Default per-query completion deadline (seconds from issue).
+    query_deadline: float = 3.0
+    #: ``"inproc"`` (asyncio loopback, default) or ``"udp"`` (127.0.0.1 sockets).
+    wire: str = WIRE_INPROC
+    #: Multiplicative timer jitter range (``1 ± jitter``), desynchronizing
+    #: nodes the way real clocks drift apart.
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.wire not in WIRE_NAMES:
+            raise ValueError(f"wire must be one of {WIRE_NAMES}, got {self.wire!r}")
+        for name in ("gossip_interval", "eager_interval", "rpc_timeout", "query_deadline"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)!r}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter!r}")
+
+
+# -------------------------------------------------------------------- wires
+
+
+class InProcWire:
+    """Loopback wire: one asyncio queue of *encoded frames* per node.
+
+    Frames still round-trip through the codec -- the bytes handed to the
+    queue are exactly the bytes the UDP wire would put on a socket -- so
+    the in-process default exercises the full serialization path.
+    """
+
+    def __init__(self) -> None:
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+
+    async def start(self, node_ids) -> None:
+        for node_id in node_ids:
+            self._inboxes[node_id] = asyncio.Queue()
+
+    async def stop(self) -> None:
+        self._inboxes.clear()
+
+    def inbox(self, node_id: int) -> asyncio.Queue:
+        return self._inboxes[node_id]
+
+    def send(self, receiver: int, frame: bytes) -> bool:
+        inbox = self._inboxes.get(receiver)
+        if inbox is None:
+            return False
+        inbox.put_nowait(frame)
+        return True
+
+
+class _UdpInbox(asyncio.DatagramProtocol):
+    def __init__(self, queue: asyncio.Queue) -> None:
+        self._queue = queue
+
+    def datagram_received(self, data: bytes, addr) -> None:  # pragma: no cover - io
+        self._queue.put_nowait(data)
+
+
+class UdpWire:
+    """One real UDP socket per node on 127.0.0.1 (kernel loopback).
+
+    Every frame actually traverses the network stack.  Frames larger than
+    :data:`MAX_DATAGRAM_BYTES` are refused loudly -- size your digests
+    (``digest_bits``) for the datagram budget instead of letting the kernel
+    truncate silently.
+    """
+
+    def __init__(self) -> None:
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self._transports: Dict[int, asyncio.DatagramTransport] = {}
+        self._addresses: Dict[int, Tuple[str, int]] = {}
+
+    async def start(self, node_ids) -> None:
+        loop = asyncio.get_running_loop()
+        for node_id in node_ids:
+            queue: asyncio.Queue = asyncio.Queue()
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda q=queue: _UdpInbox(q), local_addr=("127.0.0.1", 0)
+            )
+            self._inboxes[node_id] = queue
+            self._transports[node_id] = transport
+            self._addresses[node_id] = transport.get_extra_info("sockname")[:2]
+
+    async def stop(self) -> None:
+        for transport in self._transports.values():
+            transport.close()
+        self._inboxes.clear()
+        self._transports.clear()
+        self._addresses.clear()
+
+    def inbox(self, node_id: int) -> asyncio.Queue:
+        return self._inboxes[node_id]
+
+    def send(self, receiver: int, frame: bytes) -> bool:
+        address = self._addresses.get(receiver)
+        if address is None:
+            return False
+        if len(frame) > MAX_DATAGRAM_BYTES:
+            raise ValueError(
+                f"frame of {len(frame)} bytes exceeds the {MAX_DATAGRAM_BYTES}-byte "
+                "datagram budget; use smaller digest_bits or the inproc wire"
+            )
+        # Any local socket may send; route through the receiver's own to
+        # keep per-node addressing symmetric.
+        self._transports[receiver].sendto(frame, address)
+        return True
+
+
+def make_wire(name: str):
+    if name == WIRE_UDP:
+        return UdpWire()
+    return InProcWire()
+
+
+# ------------------------------------------------------------- node service
+
+
+class NodeService:
+    """One node as a set of asyncio tasks: inbox, gossip timer, eager timer."""
+
+    def __init__(self, node, runtime: "ServiceRuntime") -> None:
+        self.node = node
+        self.node_id = node.node_id
+        self.runtime = runtime
+        self._rpc_futures: Dict[int, asyncio.Future] = {}
+        self._rpc_counter = 0
+        #: The node's local eager clock: one tick per eager-timer firing.
+        #: Stamps query sessions and forwards exactly like engine cycles.
+        self.tick = 0
+        self._timer_rng = random.Random(
+            f"{runtime.simulation.config.seed}/service/{self.node_id}"
+        )
+        self._tasks: List[asyncio.Task] = []
+        self._inbox_task: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._inbox_task = asyncio.create_task(
+            self._inbox_loop(), name=f"inbox-{self.node_id}"
+        )
+        self._tasks = [
+            asyncio.create_task(self._gossip_loop(), name=f"gossip-{self.node_id}"),
+            asyncio.create_task(self._eager_loop(), name=f"eager-{self.node_id}"),
+        ]
+
+    async def join_timers(self) -> None:
+        """Wait for the timer loops to exit (after the runtime quiesces)."""
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    async def join_handlers(self) -> None:
+        """Wait for every in-flight inbound handler to finish."""
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Tear down the inbox reader (a pure reader: safe to cancel)."""
+        self._inbox_task.cancel()
+        await asyncio.gather(self._inbox_task, return_exceptions=True)
+
+    # -- effect driving -------------------------------------------------------
+
+    async def drive(self, gen: WireEffects) -> Any:
+        """Async twin of :func:`repro.simulator.effects.drive`."""
+        runtime = self.runtime
+        try:
+            effect = gen.send(None)
+            while True:
+                etype = type(effect)
+                if etype is RequestEffect:
+                    result: Any = await self.request(
+                        effect.sender,
+                        effect.receiver,
+                        effect.message,
+                        query_id=effect.query_id,
+                        account=effect.account,
+                    )
+                elif etype is SendEffect:
+                    result = self.send(
+                        effect.sender,
+                        effect.receiver,
+                        effect.message,
+                        query_id=effect.query_id,
+                        account=effect.account,
+                    )
+                elif etype is ProbeEffect:
+                    result = runtime.is_online(effect.node_id)
+                elif etype is PeerDigestEffect:
+                    # A live peek is impossible over a real wire: use the
+                    # stale copy the random view already holds.
+                    result = effect.fallback
+                else:
+                    raise TypeError(f"unknown wire effect {effect!r}")
+                effect = gen.send(result)
+        except StopIteration as stop:
+            return stop.value
+
+    # -- outbound -------------------------------------------------------------
+
+    async def request(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int] = None,
+        account: bool = True,
+    ) -> Dispatch:
+        """Round-trip rpc with the transport's statuses and accounting."""
+        runtime = self.runtime
+        if not runtime.is_online(receiver):
+            runtime.observe(OP_REQUEST, sender, receiver, message, UNREACHABLE, False, query_id)
+            return Dispatch(UNREACHABLE, None)
+        if account:
+            runtime.account(sender, receiver, message, query_id)
+        self._rpc_counter += 1
+        rpc_id = self._rpc_counter
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._rpc_futures[rpc_id] = future
+        envelope = Envelope(sender, receiver, message, query_id, True, account)
+        delivered = runtime.wire.send(receiver, runtime.codec.encode_request(envelope, rpc_id))
+        if not delivered:
+            # The wire lost the address after the bytes were spent: report a
+            # drop (accounted), not unreachability (which is never charged).
+            self._rpc_futures.pop(rpc_id, None)
+            runtime.observe(OP_REQUEST, sender, receiver, message, DROPPED, account, query_id)
+            return Dispatch(DROPPED, None)
+        try:
+            reply = await asyncio.wait_for(future, runtime.config.rpc_timeout)
+        except asyncio.TimeoutError:
+            self._rpc_futures.pop(rpc_id, None)
+            # The sender-side timeout of a real gossip: indistinguishable
+            # from a lost request, so the protocol sees DROPPED (it must
+            # not assume the other side processed anything).
+            runtime.observe(OP_REQUEST, sender, receiver, message, DROPPED, account, query_id)
+            return Dispatch(DROPPED, None)
+        runtime.observe(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
+        return Dispatch(DELIVERED, reply)
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        query_id: Optional[int] = None,
+        account: bool = True,
+    ) -> str:
+        """One-way, fire-and-forget send (synchronous: queue/socket put)."""
+        runtime = self.runtime
+        if not runtime.is_online(receiver):
+            runtime.observe(OP_SEND, sender, receiver, message, UNREACHABLE, False, query_id)
+            return UNREACHABLE
+        if account:
+            runtime.account(sender, receiver, message, query_id)
+        envelope = Envelope(sender, receiver, message, query_id, False, account)
+        if not runtime.wire.send(receiver, runtime.codec.encode_send(envelope)):
+            runtime.observe(OP_SEND, sender, receiver, message, DROPPED, account, query_id)
+            return DROPPED
+        runtime.observe(OP_SEND, sender, receiver, message, DELIVERED, account, query_id)
+        return DELIVERED
+
+    # -- inbound --------------------------------------------------------------
+
+    async def _inbox_loop(self) -> None:
+        runtime = self.runtime
+        inbox = runtime.wire.inbox(self.node_id)
+        while True:
+            frame = await inbox.get()
+            decoded = runtime.codec.decode(runtime.codec.unframe(frame))
+            if decoded["op"] == "rep":
+                future = self._rpc_futures.pop(decoded["rpc"], None)
+                if future is not None and not future.done():
+                    future.set_result(decoded["m"])
+                continue
+            # One task per inbound frame: a handler may issue nested
+            # round-trips back at the node that is currently awaiting us
+            # (digest integration, the eager alpha split), so serial
+            # processing would deadlock two mutually-requesting nodes.
+            task = asyncio.create_task(self._handle_inbound(decoded))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _handle_inbound(self, decoded: Dict[str, Any]) -> None:
+        runtime = self.runtime
+        envelope: Envelope = decoded["envelope"]
+        reply = await self.drive(self.node.handle_message_effects(envelope))
+        if decoded["op"] != "req":
+            return
+        if reply is not None:
+            # Reply legs are accounted and observed at the replier, the side
+            # that actually spends the uplink bytes; the requester's timeout
+            # discarding a late reply does not un-spend them.
+            if envelope.account:
+                runtime.account(self.node_id, envelope.sender, reply, envelope.query_id)
+            runtime.observe(
+                OP_REPLY, self.node_id, envelope.sender, reply, DELIVERED,
+                envelope.account, envelope.query_id,
+            )
+        runtime.wire.send(
+            envelope.sender, runtime.codec.encode_reply(decoded["rpc"], DELIVERED, reply)
+        )
+
+    # -- timers ---------------------------------------------------------------
+
+    def _pause(self, interval: float) -> float:
+        jitter = self.runtime.config.jitter
+        if jitter <= 0.0:
+            return interval
+        return interval * self._timer_rng.uniform(1.0 - jitter, 1.0 + jitter)
+
+    async def _gossip_loop(self) -> None:
+        runtime = self.runtime
+        interval = runtime.config.gossip_interval
+        # Random phase offset: engine cycles fire every node in lockstep,
+        # real deployments drift apart immediately.
+        await asyncio.sleep(self._timer_rng.uniform(0.0, interval))
+        while runtime.running:
+            if runtime.is_online(self.node_id):
+                await self.drive(self.node.lazy_round_effects())
+            await asyncio.sleep(self._pause(interval))
+
+    async def _eager_loop(self) -> None:
+        runtime = self.runtime
+        interval = runtime.config.eager_interval
+        await asyncio.sleep(self._timer_rng.uniform(0.0, interval))
+        while runtime.running:
+            if runtime.is_online(self.node_id):
+                self.tick += 1
+                if self.node.has_active_queries():
+                    await self.drive(self.node.eager_round_effects(self.tick))
+                # Fold the partial results this tick delivered into snapshots
+                # (the engine does this at each eager cycle boundary).
+                for session in self.node.sessions.values():
+                    session.close_cycle(self.tick)
+            await asyncio.sleep(self._pause(interval))
+
+    # -- queries --------------------------------------------------------------
+
+    def issue(self, query: Query) -> QuerySession:
+        session = self.node.issue_query(query, cycle=self.tick)
+        session.close_cycle(self.tick)
+        return session
+
+
+# ----------------------------------------------------------------- runtime
+
+
+class ServiceRuntime:
+    """A full P3Q deployment as one asyncio service per node.
+
+    Wraps a built (and typically warm-started) simulation: the runtime
+    reuses its nodes, protocol objects, network liveness table and stats
+    collector, but replaces the cycle engine with per-node timers and the
+    direct method-call wire with serialized frames.
+    """
+
+    def __init__(
+        self,
+        simulation: P3QSimulation,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.simulation = simulation
+        self.config = config or ServiceConfig()
+        self.codec = WireCodec()
+        self.wire = make_wire(self.config.wire)
+        self.trace = ServiceTrace()
+        self._observers = [self.trace.record]
+        self.services: Dict[int, NodeService] = {}
+        self._started = False
+        #: Timers initiate new rounds only while True; cleared by
+        #: :meth:`stop` so the runtime quiesces instead of cancelling
+        #: half-finished exchanges (which would break byte conservation).
+        self.running = False
+
+    # -- shared plumbing ------------------------------------------------------
+
+    def is_online(self, node_id: int) -> bool:
+        """The runtime's failure-detector oracle (the shared liveness table)."""
+        return self.simulation.network.is_online(node_id)
+
+    def account(
+        self, sender: int, receiver: int, message: Message, query_id: Optional[int]
+    ) -> None:
+        """Transport-identical byte accounting into the shared stats collector."""
+        kind = message.kind
+        if kind is None or not message.accountable:
+            return
+        self.simulation.network.account(
+            sender, receiver, kind, total_bytes(message), query_id=query_id
+        )
+
+    def observe(
+        self,
+        op: str,
+        sender: int,
+        receiver: int,
+        message: Message,
+        status: str,
+        accounted: bool,
+        query_id: Optional[int],
+    ) -> None:
+        event = WireEvent(op, sender, receiver, message, status, accounted, query_id)
+        for observer in self._observers:
+            observer(event)
+
+    def add_observer(self, observer) -> None:
+        self._observers.append(observer)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("service runtime already started")
+        node_ids = list(self.simulation.nodes)
+        await self.wire.start(node_ids)
+        self.running = True
+        for node_id in node_ids:
+            service = NodeService(self.simulation.nodes[node_id], self)
+            self.services[node_id] = service
+            service.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Quiesce, then tear down.
+
+        Rounds in progress run to completion (cancelling one between its
+        accounting and its WireEvent would break byte conservation), then
+        in-flight inbound handlers drain, pending partial results are
+        folded into a final snapshot per session, and the inbox readers --
+        pure readers, safe to cancel -- go away.
+        """
+        self.running = False
+        services = list(self.services.values())
+        for service in services:
+            await service.join_timers()
+        for service in services:
+            await service.join_handlers()
+        for service in services:
+            node = service.node
+            if node.sessions:
+                service.tick += 1
+                for session in node.sessions.values():
+                    session.close_cycle(service.tick)
+        for service in services:
+            await service.close()
+        await self.wire.stop()
+        self.services = {}
+        self._started = False
+
+    # -- driving --------------------------------------------------------------
+
+    def issue_query(self, query: Query) -> QuerySession:
+        return self.services[query.querier].issue(query)
+
+    async def run_queries(
+        self,
+        queries: List[Query],
+        deadline: Optional[float] = None,
+    ) -> Dict[int, QuerySession]:
+        """Issue queries and wait until each completes or hits its deadline.
+
+        The per-query deadline replaces the engine's eager cycle cutoff: an
+        incomplete session is returned with whatever coverage it reached.
+        """
+        deadline = deadline if deadline is not None else self.config.query_deadline
+        sessions = {q.query_id: self.issue_query(q) for q in queries}
+        loop = asyncio.get_running_loop()
+        cutoff = loop.time() + deadline
+        poll = min(0.02, self.config.eager_interval)
+        while loop.time() < cutoff:
+            if all(session.closed for session in sessions.values()):
+                break
+            await asyncio.sleep(poll)
+        return sessions

@@ -1,7 +1,12 @@
-"""``python -m repro.simtest`` entry point."""
+"""``python -m repro.simtest`` -- deprecated shim for ``python -m repro simtest``."""
 
 import sys
+import warnings
 
 from .cli import main
 
+warnings.warn(
+    "'python -m repro.simtest' is deprecated; use 'python -m repro simtest'",
+    DeprecationWarning,
+)
 sys.exit(main())

@@ -1,0 +1,153 @@
+"""End-to-end tests of the asyncio service runtime.
+
+A small in-process deployment must complete queries against the same
+centralized references the experiments use, and the recorded wire trace
+must pass the simtest invariant checkers -- the acceptance criteria of
+service mode.  UDP coverage is a single smoke run over real loopback
+sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments.runner import converged_simulation
+from repro.service import ServiceConfig, ServiceRuntime, ServiceTrace, check_trace
+from repro.service.demo import (
+    build_demo_workload,
+    demo_succeeded,
+    format_report,
+    run_demo_sync,
+)
+from repro.simulator.transport import OP_REPLY, OP_REQUEST
+
+
+def _run(workload, config, storage=3):
+    """One full service run; returns (runtime, simulation, sessions)."""
+    simulation = converged_simulation(workload, storage)
+
+    async def go():
+        runtime = ServiceRuntime(simulation, config)
+        await runtime.start()
+        try:
+            sessions = await runtime.run_queries(workload.queries)
+        finally:
+            await runtime.stop()
+        return runtime, sessions
+
+    runtime, sessions = asyncio.run(go())
+    return runtime, simulation, sessions
+
+
+class TestInProcRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        workload = build_demo_workload(num_users=30, num_queries=4, seed=7)
+        config = ServiceConfig(
+            gossip_interval=0.05, eager_interval=0.02, query_deadline=8.0
+        )
+        return _run(workload, config) + (workload,)
+
+    def test_queries_complete(self, run):
+        _, _, sessions, _ = run
+        assert any(session.closed for session in sessions.values())
+
+    def test_sessions_reach_coverage(self, run):
+        _, _, sessions, _ = run
+        for session in sessions.values():
+            assert 0.0 <= session.coverage <= 1.0
+        assert any(session.coverage == 1.0 for session in sessions.values())
+
+    def test_trace_records_round_trips(self, run):
+        runtime, _, _, _ = run
+        ops = {event.op for event in runtime.trace.events}
+        assert OP_REQUEST in ops
+        assert OP_REPLY in ops
+
+    def test_trace_passes_invariants(self, run):
+        runtime, simulation, _, _ = run
+        names = check_trace(runtime.trace.events, simulation)
+        assert set(names) == {
+            "byte-conservation",
+            "view-bounds",
+            "replica-freshness",
+            "query-lifecycle",
+        }
+
+    def test_accounting_matches_trace(self, run):
+        """Bytes in the stats collector come only from accounted wire events."""
+        runtime, simulation, _, _ = run
+        assert simulation.stats.total_bytes() > 0
+        accounted = [e for e in runtime.trace.events if e.accounted]
+        assert accounted
+
+    def test_trace_dump_load_round_trip(self, run, tmp_path):
+        runtime, _, _, _ = run
+        path = tmp_path / "trace.jsonl"
+        written = runtime.trace.dump(str(path))
+        assert written == len(runtime.trace.events)
+        loaded = ServiceTrace.load(str(path))
+        assert len(loaded) == written
+        for original, reloaded in zip(runtime.trace.events, loaded.events):
+            assert original.op == reloaded.op
+            assert original.sender == reloaded.sender
+            assert original.receiver == reloaded.receiver
+            assert original.status == reloaded.status
+            assert original.accounted == reloaded.accounted
+            assert original.query_id == reloaded.query_id
+            assert type(original.message) is type(reloaded.message)
+
+
+class TestUdpRun:
+    def test_udp_smoke(self):
+        workload = build_demo_workload(num_users=12, num_queries=2, seed=11)
+        config = ServiceConfig(
+            gossip_interval=0.05,
+            eager_interval=0.02,
+            query_deadline=8.0,
+            wire="udp",
+        )
+        runtime, simulation, sessions = _run(workload, config)
+        assert any(session.closed for session in sessions.values())
+        check_trace(runtime.trace.events, simulation)
+
+
+class TestDemo:
+    def test_run_demo_sync_report(self, tmp_path):
+        trace_path = tmp_path / "demo-trace.jsonl"
+        report = run_demo_sync(
+            num_users=20,
+            num_queries=3,
+            seed=5,
+            deadline=8.0,
+            trace_path=str(trace_path),
+        )
+        assert report["completed"] >= 1
+        assert report["invariant_error"] is None
+        assert demo_succeeded(report)
+        assert report["bytes_total"] > 0
+        assert trace_path.exists()
+        text = format_report(report)
+        assert "queries completed" in text
+        assert "bytes on the wire" in text
+
+    def test_demo_succeeded_requires_completion_and_clean_invariants(self):
+        assert not demo_succeeded({"completed": 0, "invariant_error": None})
+        assert not demo_succeeded({"completed": 3, "invariant_error": "boom"})
+        assert demo_succeeded({"completed": 1, "invariant_error": None})
+
+
+class TestServiceConfigValidation:
+    def test_rejects_unknown_wire(self):
+        with pytest.raises(ValueError, match="wire"):
+            ServiceConfig(wire="tcp")
+
+    def test_rejects_nonpositive_intervals(self):
+        with pytest.raises(ValueError, match="gossip_interval"):
+            ServiceConfig(gossip_interval=0)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            ServiceConfig(jitter=1.5)

@@ -259,15 +259,15 @@ class TestInvariantsFire:
 
     def test_query_lifecycle_catches_retry_after_handoff(self, monkeypatch):
         """An initiator that re-forwards after REPLY_DROPPED must be flagged."""
-        original = EagerGossipProtocol.gossip_query
+        original = EagerGossipProtocol.gossip_query_effects
 
-        def retrying(self, initiator, query, remaining, network, cycle):
+        def retrying(self, initiator, query, remaining, cycle):
             kept = list(remaining)
-            result = original(self, initiator, query, remaining, network, cycle)
+            result = yield from original(self, initiator, query, remaining, cycle)
             # Pretend the REPLY_DROPPED/DEFERRED hand-off never happened.
             return result if result else kept
 
-        monkeypatch.setattr(EagerGossipProtocol, "gossip_query", retrying)
+        monkeypatch.setattr(EagerGossipProtocol, "gossip_query_effects", retrying)
         spec = FAST_SPEC.but(transport="lossy", loss_rate=0.4, eager_cycles=10)
         result = run_scenario(spec)
         assert result.invariant == "query-lifecycle"

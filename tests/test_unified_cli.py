@@ -1,0 +1,133 @@
+"""Tests for the unified ``python -m repro`` CLI and the deprecated shims."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import SUBCOMMANDS, add_common_options, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run_module(args, timeout=120):
+    """Run ``python <args>`` from the repo root with src/ importable."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, *args],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestDispatch:
+    def test_no_arguments_prints_usage_and_fails(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        for name in SUBCOMMANDS:
+            assert name in err
+
+    def test_help_lists_every_subcommand(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out
+
+    def test_unknown_subcommand_fails(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_experiments_subcommand_delegates(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig-service" in out
+        assert "fig-loss" in out
+
+    def test_simtest_subcommand_delegates(self, capsys):
+        assert main(["simtest", "--list-invariants"]) == 0
+        assert "byte-conservation" in capsys.readouterr().out
+
+
+class TestCommonOptions:
+    def test_full_trio(self):
+        parser = argparse.ArgumentParser()
+        add_common_options(parser, transport_choices=("inproc", "udp"))
+        args = parser.parse_args(["--seed", "7", "--workers", "3", "--transport", "udp"])
+        assert args.seed == 7
+        assert args.workers == 3
+        assert args.transport == "udp"
+
+    def test_defaults(self):
+        parser = argparse.ArgumentParser()
+        add_common_options(parser, transport_choices=("inproc", "udp"))
+        args = parser.parse_args([])
+        assert args.seed == 42
+        assert args.workers == 1
+        assert args.transport == "inproc"
+
+    def test_pieces_are_optional(self):
+        parser = argparse.ArgumentParser()
+        add_common_options(parser, workers=False)
+        args = parser.parse_args(["--seed", "1"])
+        assert args.seed == 1
+        assert not hasattr(args, "workers")
+        assert not hasattr(args, "transport")
+
+
+class TestDeprecatedShims:
+    """The legacy module entry points still run, with a DeprecationWarning."""
+
+    def test_simtest_module_shim(self):
+        result = _run_module(["-m", "repro.simtest", "--list-invariants"])
+        assert result.returncode == 0
+        assert "byte-conservation" in result.stdout
+        assert "DeprecationWarning" in result.stderr
+        assert "python -m repro simtest" in result.stderr
+
+    def test_experiments_module_shim(self):
+        result = _run_module(["-m", "repro.experiments.cli", "--list"])
+        assert result.returncode == 0
+        assert "fig2" in result.stdout
+        assert "DeprecationWarning" in result.stderr
+        assert "python -m repro experiments" in result.stderr
+
+    def test_perf_module_shim(self):
+        result = _run_module(["-m", "benchmarks.perf", "--help"])
+        assert result.returncode == 0
+        assert "DeprecationWarning" in result.stderr
+        assert "python -m repro perf" in result.stderr
+
+    def test_service_module_shim(self):
+        result = _run_module(["-m", "repro.service", "--help"])
+        assert result.returncode == 0
+        assert "--demo" in result.stdout
+        assert "DeprecationWarning" in result.stderr
+        assert "python -m repro service" in result.stderr
+
+
+class TestServiceEndToEnd:
+    def test_demo_completes_queries_and_prints_recall_and_bytes(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        result = _run_module(
+            [
+                "-m", "repro", "service", "--smoke",
+                "--nodes", "15", "--queries", "2", "--seed", "5",
+                "--deadline", "10", "--trace", str(trace),
+            ],
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "recall" in result.stdout
+        assert "bytes on the wire" in result.stdout
+        assert "invariants passed" in result.stdout
+        assert trace.exists() and trace.stat().st_size > 0
