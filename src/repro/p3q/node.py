@@ -214,14 +214,18 @@ class P3QNode(Node):
 
     def eager_round_effects(self, cycle: int) -> WireEffects:
         """One eager round over every query this node participates in."""
+        # Snapshot both dicts: the service runtime suspends this generator at
+        # every yielded rpc, and a concurrent inbound QueryForward (or a new
+        # issue_query) may insert entries mid-round.  Queries arriving during
+        # the round wait for the next tick, exactly as in the engine.
         # Own queries: the querier is also a gossip initiator (Algorithm 2).
-        for session in self.sessions.values():
+        for session in list(self.sessions.values()):
             if session.remaining:
                 session.remaining = yield from self.eager.gossip_query_effects(
                     self, session.query, session.remaining, cycle
                 )
         # Queries this node was reached by (Algorithm 3, initiator role).
-        for state in self.forwarded.values():
+        for state in list(self.forwarded.values()):
             if state.active:
                 state.remaining = yield from self.eager.gossip_query_effects(
                     self, state.query, state.remaining, cycle

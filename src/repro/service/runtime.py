@@ -46,6 +46,7 @@ Two effect outcomes differ from the engine driver by design (documented in
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -75,6 +76,24 @@ from ..simulator.transport import (
 )
 from .codec import MAX_DATAGRAM_BYTES, WireCodec
 from .trace import ServiceTrace
+
+logger = logging.getLogger(__name__)
+
+
+def _report_task_failure(task: asyncio.Task) -> None:
+    """Done-callback surfacing crashes of long-lived service tasks.
+
+    Timer loops, inbox readers and inbound handlers are only gathered at
+    shutdown with ``return_exceptions=True``; without this callback an
+    unexpected exception (an oversized UDP frame, a protocol bug) would
+    silently stop the node for the rest of the run.
+    """
+    if task.cancelled():
+        return
+    exc = task.exception()
+    if exc is not None:
+        logger.error("service task %s crashed", task.get_name(), exc_info=exc)
+
 
 #: Wire flavour names accepted by :class:`ServiceConfig.wire`.
 WIRE_INPROC = "inproc"
@@ -234,10 +253,13 @@ class NodeService:
         self._inbox_task = asyncio.create_task(
             self._inbox_loop(), name=f"inbox-{self.node_id}"
         )
+        self._inbox_task.add_done_callback(_report_task_failure)
         self._tasks = [
             asyncio.create_task(self._gossip_loop(), name=f"gossip-{self.node_id}"),
             asyncio.create_task(self._eager_loop(), name=f"eager-{self.node_id}"),
         ]
+        for task in self._tasks:
+            task.add_done_callback(_report_task_failure)
 
     async def join_timers(self) -> None:
         """Wait for the timer loops to exit (after the runtime quiesces)."""
@@ -248,6 +270,10 @@ class NodeService:
         """Wait for every in-flight inbound handler to finish."""
         while self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def idle(self) -> bool:
+        """True when no handler is running and no frame awaits the inbox."""
+        return not self._inflight and self.runtime.wire.inbox(self.node_id).empty()
 
     async def close(self) -> None:
         """Tear down the inbox reader (a pure reader: safe to cancel)."""
@@ -361,7 +387,17 @@ class NodeService:
         inbox = runtime.wire.inbox(self.node_id)
         while True:
             frame = await inbox.get()
-            decoded = runtime.codec.decode(runtime.codec.unframe(frame))
+            try:
+                decoded = runtime.codec.decode(runtime.codec.unframe(frame))
+            except Exception:
+                # The UDP socket is open to anything on 127.0.0.1: a garbage
+                # or unknown-tag frame must not kill the reader (which would
+                # silently partition this node for the rest of the run).
+                logger.warning(
+                    "node %d dropped undecodable %d-byte frame",
+                    self.node_id, len(frame), exc_info=True,
+                )
+                continue
             if decoded["op"] == "rep":
                 future = self._rpc_futures.pop(decoded["rpc"], None)
                 if future is not None and not future.done():
@@ -374,6 +410,7 @@ class NodeService:
             task = asyncio.create_task(self._handle_inbound(decoded))
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
+            task.add_done_callback(_report_task_failure)
 
     async def _handle_inbound(self, decoded: Dict[str, Any]) -> None:
         runtime = self.runtime
@@ -528,8 +565,18 @@ class ServiceRuntime:
         services = list(self.services.values())
         for service in services:
             await service.join_timers()
-        for service in services:
-            await service.join_handlers()
+        # A handler drained late in the pass can send a frame to a service
+        # drained earlier, spawning a fresh handler there; sweep until one
+        # full pass finds every service idle -- no running handler and no
+        # queued frame -- so the wire is quiescent (with the timers stopped,
+        # handlers only beget finitely many more).  The sleep(0) lets inbox
+        # readers turn queued frames into handlers the next pass can join.
+        while True:
+            for service in services:
+                await service.join_handlers()
+            if all(service.idle() for service in services):
+                break
+            await asyncio.sleep(0)
         for service in services:
             node = service.node
             if node.sessions:

@@ -10,6 +10,8 @@ sockets.
 from __future__ import annotations
 
 import asyncio
+import logging
+from types import SimpleNamespace
 
 import pytest
 
@@ -21,7 +23,9 @@ from repro.service.demo import (
     format_report,
     run_demo_sync,
 )
-from repro.simulator.transport import OP_REPLY, OP_REQUEST
+from repro.service.runtime import _report_task_failure
+from repro.simulator.effects import ProbeEffect, RequestEffect
+from repro.simulator.transport import DROPPED, OP_REPLY, OP_REQUEST, Dispatch
 
 
 def _run(workload, config, storage=3):
@@ -137,6 +141,78 @@ class TestDemo:
         assert not demo_succeeded({"completed": 0, "invariant_error": None})
         assert not demo_succeeded({"completed": 3, "invariant_error": "boom"})
         assert demo_succeeded({"completed": 1, "invariant_error": None})
+
+
+class TestServiceHardening:
+    """Service-mode failure paths: concurrent mutation, bad frames, crashes."""
+
+    def test_eager_round_survives_mid_round_insertions(self):
+        """A query arriving while the eager round is suspended must not
+        break the round's iteration (the round snapshots both dicts)."""
+        workload = build_demo_workload(num_users=12, num_queries=4, seed=3)
+        simulation = converged_simulation(workload, 3)
+        # Pick a query whose local partials leave remote work outstanding.
+        session = None
+        for query in workload.queries:
+            node = simulation.nodes[query.querier]
+            session = node.issue_query(query)
+            if session.remaining:
+                break
+            del node.sessions[query.query_id]
+        assert session is not None and session.remaining, (
+            "test needs a session with outstanding work"
+        )
+
+        gen = node.eager_round_effects(1)
+        effect = gen.send(None)  # suspend mid-iteration, as the runtime does
+        # A concurrent inbound QueryForward / issue_query lands meanwhile.
+        node.sessions[10_001] = SimpleNamespace(remaining=[])
+        node.forwarded[10_002] = SimpleNamespace(active=False)
+        with pytest.raises(StopIteration):
+            while True:
+                if isinstance(effect, ProbeEffect):
+                    effect = gen.send(False)
+                elif isinstance(effect, RequestEffect):
+                    effect = gen.send(Dispatch(DROPPED, None))
+                else:
+                    effect = gen.send(DROPPED)
+        assert 10_001 in node.sessions
+        assert 10_002 in node.forwarded
+
+    def test_malformed_frame_is_dropped_not_fatal(self, caplog):
+        workload = build_demo_workload(num_users=8, num_queries=1, seed=5)
+        simulation = converged_simulation(workload, 3)
+        config = ServiceConfig(gossip_interval=0.05, eager_interval=0.02)
+
+        async def go():
+            runtime = ServiceRuntime(simulation, config)
+            await runtime.start()
+            try:
+                node_id = next(iter(runtime.services))
+                assert runtime.wire.send(node_id, b"\xffnot-a-frame")
+                await asyncio.sleep(0.05)
+                assert not runtime.services[node_id]._inbox_task.done()
+            finally:
+                await runtime.stop()
+
+        with caplog.at_level(logging.WARNING, logger="repro.service.runtime"):
+            asyncio.run(go())
+        assert "undecodable" in caplog.text
+
+    def test_crashed_task_is_reported(self, caplog):
+        async def boom():
+            raise RuntimeError("kaboom")
+
+        async def go():
+            task = asyncio.create_task(boom(), name="boom-task")
+            task.add_done_callback(_report_task_failure)
+            await asyncio.gather(task, return_exceptions=True)
+            await asyncio.sleep(0)  # let the done-callback run
+
+        with caplog.at_level(logging.ERROR, logger="repro.service.runtime"):
+            asyncio.run(go())
+        assert "boom-task" in caplog.text
+        assert "kaboom" in caplog.text
 
 
 class TestServiceConfigValidation:
