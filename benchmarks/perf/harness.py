@@ -36,6 +36,15 @@ adds it to a suite run, ``--serving-smoke`` runs a small sweep standalone
 under a wall-clock budget (the CI PR job), and ``--compare`` guards
 ``qps_wall`` drops and ``latency_p95`` increases beyond the regression
 budget whenever both reports carry the section.
+
+Schema v6 adds the ``service`` section: codec encode/decode frames/sec per
+message type (JSON vs binary wire codec, headlined by the
+digest-advertisement round-trip speedup) plus end-to-end service-demo round
+throughput and rpc p95 latency at a couple of network sizes.  ``--service``
+adds it to a suite run, ``--service-smoke`` runs the quick variant
+standalone under a wall-clock budget (the CI ``service-perf`` job), and
+``--compare`` guards demo ``rounds_per_sec`` drops and ``rpc_p95_ms``
+increases the same self-activating way as the serving guard.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 DEFAULT_REPORT_NAME = "BENCH_p3q.json"
 
 #: Macro benchmark network sizes (the issue's N=100/500/1000 trajectory).
@@ -816,6 +825,160 @@ def bench_serving(
     }
 
 
+# -------------------------------------------------------------- service mode
+
+#: End-to-end service demo sizes for the v6 ``service`` section.
+DEFAULT_SERVICE_DEMO_SIZES = (50, 200)
+QUICK_SERVICE_DEMO_SIZES = (30,)
+
+
+def _service_bench_messages() -> Dict[str, object]:
+    """One realistic instance per wire message type (paper-sized digests)."""
+    from repro.data.interning import intern_action
+    from repro.data.models import UserProfile
+    from repro.data.queries import Query
+    from repro.gossip.digest import make_digest
+    from repro.p3q.query import PartialResult
+    from repro.simulator.transport import (
+        VIEW_PERSONAL,
+        CommonItemsReply,
+        CommonItemsRequest,
+        DigestAdvertisement,
+        FullProfilePush,
+        FullProfileRequest,
+        QueryForward,
+        QueryResult,
+        RemainingReturn,
+    )
+
+    profiles = [
+        UserProfile(uid, [(uid * 100 + i, i % 25) for i in range(50)])
+        for uid in range(8)
+    ]
+    # Paper-sized Bloom digests (DIGEST_BYTES = 2500 -> 20,000 bits): the
+    # digest-advertisement path is the acceptance-criterion headline.
+    digests = tuple(make_digest(profile) for profile in profiles)
+    query = Query(query_id=9, querier=1, tags=(3, 4), source_item=7)
+    partial = PartialResult(
+        query_id=9,
+        sender=2,
+        scores={item: item + 0.5 for item in range(20)},
+        contributors=tuple(range(8)),
+        cycle=3,
+    )
+    return {
+        "DigestAdvertisement": DigestAdvertisement(digests=digests, view=VIEW_PERSONAL),
+        "CommonItemsRequest": CommonItemsRequest(
+            subject_id=3, items=frozenset(range(100, 130))
+        ),
+        "CommonItemsReply": CommonItemsReply(
+            subject_id=3,
+            actions=frozenset(intern_action(item, item % 25) for item in range(30)),
+        ),
+        "FullProfileRequest": FullProfileRequest(subject_id=3),
+        "FullProfilePush": FullProfilePush(subject_id=3, profile=profiles[0]),
+        "QueryForward": QueryForward(query=query, remaining=tuple(range(16)), cycle=3),
+        "RemainingReturn": RemainingReturn(query_id=9, remaining=tuple(range(16))),
+        "QueryResult": QueryResult(partial=partial),
+    }
+
+
+def _codec_roundtrip_fps(codec_name: str, message, batch: int, repeats: int) -> float:
+    """Frames/sec through the real service data path: encode the send
+    frame, commit the suppression state (a no-op for JSON), split and
+    decode on a receiver-side codec instance -- steady-state caches and
+    all, exactly what the runtime does per one-way message."""
+    from repro.service.codec import make_codec
+    from repro.simulator.transport import Envelope
+
+    def operation() -> int:
+        sender = make_codec(codec_name)
+        receiver = make_codec(codec_name)
+        envelope = Envelope(1, 2, message, None, False, True)
+        for _ in range(batch):
+            frame = sender.encode_send(envelope)
+            sender.commit_sent(2)
+            bodies, _ = receiver.split(frame)
+            receiver.decode_body(bodies[0])
+        return batch
+
+    return _best_rate(operation, repeats)
+
+
+def bench_service(
+    quick: bool = False,
+    seed: int = 23,
+    demo_sizes: Sequence[int] = DEFAULT_SERVICE_DEMO_SIZES,
+    trace_path: Optional[str] = None,
+) -> Dict:
+    """Service-mode data-plane benchmarks (schema v6 ``service`` section).
+
+    Two subsections:
+
+    * ``codec`` -- encode+decode frames/sec per message type for the JSON
+      and binary codecs on the real send/decode path (per-message speedup
+      plus the headline ``digest_roundtrip_speedup`` on the
+      digest-advertisement path);
+    * ``demo`` -- end-to-end demo runs with the binary codec at each N in
+      ``demo_sizes``: gossip-round throughput, rpc p95 latency, completed
+      queries and the invariant audit result.  When ``trace_path`` is
+      given the *last* demo's wire trace is dumped there (the CI smoke leg
+      uploads it on failure).
+    """
+    from repro.service.demo import run_demo_sync
+
+    batch = 30 if quick else 120
+    repeats = 2 if quick else 3
+    if quick:
+        demo_sizes = QUICK_SERVICE_DEMO_SIZES
+
+    messages = _service_bench_messages()
+    codec_cells: Dict[str, Dict[str, float]] = {}
+    for name, message in messages.items():
+        json_fps = _codec_roundtrip_fps("json", message, batch, repeats)
+        binary_fps = _codec_roundtrip_fps("binary", message, batch, repeats)
+        codec_cells[name] = {
+            "json_fps": json_fps,
+            "binary_fps": binary_fps,
+            "speedup": binary_fps / json_fps if json_fps > 0 else 0.0,
+        }
+
+    demo_cells: Dict[str, Dict] = {}
+    for index, num_users in enumerate(demo_sizes):
+        is_last = index == len(demo_sizes) - 1
+        report = run_demo_sync(
+            num_users=num_users,
+            num_queries=4 if quick else 8,
+            seed=seed,
+            codec="binary",
+            deadline=3.0 if quick else 5.0,
+            trace_path=trace_path if is_last else None,
+        )
+        demo_cells[str(num_users)] = {
+            "num_users": num_users,
+            "codec": report["codec"],
+            "completed": report["completed"],
+            "num_queries": report["num_queries"],
+            "gossip_rounds": report["gossip_rounds"],
+            "rounds_per_sec": report["rounds_per_sec"],
+            "rpc_count": report["rpc_count"],
+            "rpc_p95_ms": report["rpc_p95_ms"],
+            "wall_seconds": report["wall_seconds"],
+            "bytes_total": report["bytes_total"],
+            "invariant_error": report["invariant_error"],
+        }
+
+    return {
+        "seed": seed,
+        "frame_batch": batch,
+        "codec": {
+            "messages": codec_cells,
+            "digest_roundtrip_speedup": codec_cells["DigestAdvertisement"]["speedup"],
+        },
+        "demo": demo_cells,
+    }
+
+
 # --------------------------------------------------------------------- report
 
 
@@ -830,6 +993,7 @@ def run_suite(
     columnar: bool = False,
     worker_scaling_size: Optional[int] = None,
     serving: bool = False,
+    service: bool = False,
 ) -> Dict:
     """Run the full benchmark suite and return the report dictionary."""
     started = time.time()
@@ -859,6 +1023,8 @@ def run_suite(
         report["columnar"] = bench_columnar(quick=quick)
     if serving or quick:
         report["serving"] = bench_serving(quick=quick)
+    if service or quick:
+        report["service"] = bench_service(quick=quick)
     if worker_scaling_size is not None:
         report["worker_scaling"] = {
             str(worker_scaling_size): bench_worker_scaling(
@@ -1017,6 +1183,60 @@ def validate_report(report: Dict) -> List[str]:
                             f"serving.workloads[{cell!r}].peak_rss_bytes must "
                             f"be a positive byte count"
                         )
+    service = report.get("service")
+    if service is not None:
+        if not isinstance(service, dict):
+            problems.append("section 'service' must be an object")
+        else:
+            codec = service.get("codec") or {}
+            cells = codec.get("messages")
+            if not isinstance(cells, dict) or not cells:
+                problems.append("service.codec.messages must be a non-empty object")
+            else:
+                for name, entry in cells.items():
+                    for key in ("json_fps", "binary_fps", "speedup"):
+                        value = entry.get(key) if isinstance(entry, dict) else None
+                        if not isinstance(value, (int, float)) or value <= 0:
+                            problems.append(
+                                f"service.codec.messages[{name!r}].{key} must be "
+                                f"a positive number"
+                            )
+            speedup = codec.get("digest_roundtrip_speedup")
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                problems.append(
+                    "service.codec.digest_roundtrip_speedup must be a positive number"
+                )
+            demo = service.get("demo")
+            if not isinstance(demo, dict) or not demo:
+                problems.append("service.demo must be a non-empty object")
+            else:
+                for size, entry in demo.items():
+                    if not isinstance(entry, dict):
+                        problems.append(f"service.demo[{size!r}] must be an object")
+                        continue
+                    for key in ("rounds_per_sec", "wall_seconds"):
+                        value = entry.get(key)
+                        if not isinstance(value, (int, float)) or value <= 0:
+                            problems.append(
+                                f"service.demo[{size!r}].{key} must be a positive number"
+                            )
+                    p95 = entry.get("rpc_p95_ms")
+                    if not isinstance(p95, (int, float)) or p95 < 0:
+                        problems.append(
+                            f"service.demo[{size!r}].rpc_p95_ms must be a "
+                            f"non-negative number"
+                        )
+                    completed = entry.get("completed")
+                    if not isinstance(completed, int) or completed < 1:
+                        problems.append(
+                            f"service.demo[{size!r}].completed must be a "
+                            f"positive integer (the demo must answer queries)"
+                        )
+                    if entry.get("invariant_error") is not None:
+                        problems.append(
+                            f"service.demo[{size!r}] recorded an invariant "
+                            f"violation: {entry['invariant_error']!r}"
+                        )
     scaling = report.get("worker_scaling")
     if scaling is not None:
         if not isinstance(scaling, dict) or not scaling:
@@ -1136,6 +1356,40 @@ def compare_reports(
                 f"{100 * (new_p95 / old_p95 - 1):.1f}% "
                 f"({old_p95:.0f} -> {new_p95:.0f} cycles, budget {max_regression:.0%})"
             )
+    # Service-mode guard: same self-activation rule as the serving one
+    # above -- a pre-v6 baseline has no `service` section, so the guard
+    # switches on the first time both sides carry one.
+    current_service = (current.get("service") or {}).get("demo") or {}
+    baseline_service = (baseline.get("service") or {}).get("demo") or {}
+    for size in sorted(set(current_service) & set(baseline_service), key=int):
+        old_entry, new_entry = baseline_service[size], current_service[size]
+        old_rps = old_entry.get("rounds_per_sec")
+        new_rps = new_entry.get("rounds_per_sec")
+        if (
+            isinstance(old_rps, (int, float))
+            and isinstance(new_rps, (int, float))
+            and old_rps > 0
+            and new_rps < old_rps * (1.0 - max_regression)
+        ):
+            problems.append(
+                f"service[{size}].rounds_per_sec regressed "
+                f"{100 * (1 - new_rps / old_rps):.1f}% "
+                f"({old_rps:.1f} -> {new_rps:.1f} rounds/s, "
+                f"budget {max_regression:.0%})"
+            )
+        old_p95 = old_entry.get("rpc_p95_ms")
+        new_p95 = new_entry.get("rpc_p95_ms")
+        if (
+            isinstance(old_p95, (int, float))
+            and isinstance(new_p95, (int, float))
+            and old_p95 > 0
+            and new_p95 > old_p95 * (1.0 + max_regression)
+        ):
+            problems.append(
+                f"service[{size}].rpc_p95_ms regressed "
+                f"{100 * (new_p95 / old_p95 - 1):.1f}% "
+                f"({old_p95:.2f} -> {new_p95:.2f} ms, budget {max_regression:.0%})"
+            )
     return problems
 
 
@@ -1201,6 +1455,31 @@ def _print_summary(report: Dict) -> None:
                 f"latency p50/p95/p99 {entry['latency_p50']:.0f}/"
                 f"{entry['latency_p95']:.0f}/{entry['latency_p99']:.0f} cycles"
                 f"{rss_text}"
+            )
+    service = report.get("service")
+    if service:
+        codec = service.get("codec") or {}
+        speedup = codec.get("digest_roundtrip_speedup")
+        if speedup:
+            print(
+                f"service codec: digest advertisement binary/json "
+                f"{speedup:.1f}x frames/s"
+            )
+        for name, entry in sorted((codec.get("messages") or {}).items()):
+            print(
+                f"  {name}: json {entry['json_fps']:,.0f} f/s, "
+                f"binary {entry['binary_fps']:,.0f} f/s "
+                f"({entry['speedup']:.1f}x)"
+            )
+        for size, entry in sorted(
+            (service.get("demo") or {}).items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"service demo N={size}: {entry['completed']}/"
+                f"{entry['num_queries']} queries, "
+                f"{entry['rounds_per_sec']:.1f} gossip rounds/s, "
+                f"rpc p95 {entry['rpc_p95_ms']:.2f}ms, "
+                f"wall {entry['wall_seconds']:.2f}s"
             )
     for size, entry in sorted(
         (report.get("worker_scaling") or {}).items(), key=lambda kv: int(kv[0])
@@ -1316,6 +1595,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run a small serving sweep standalone and exit non-zero if it "
         "exceeds --budget-seconds or completes no queries (no report "
         "written)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="include the service-mode section (codec frames/sec per message "
+        f"type plus demo round throughput at N in {DEFAULT_SERVICE_DEMO_SIZES}; "
+        "always on for --quick)",
+    )
+    parser.add_argument(
+        "--service-smoke",
+        action="store_true",
+        help="run the quick service-mode bench standalone and exit non-zero "
+        "if it exceeds --budget-seconds or completes no demo queries (no "
+        "report written)",
+    )
+    parser.add_argument(
+        "--service-trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --service-smoke: record the demo's wire trace here "
+        "(uploaded as a CI artifact on failure)",
     )
     parser.add_argument(
         "--columnar",
@@ -1448,6 +1749,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"serving smoke ok ({elapsed:.1f}s)")
         return 0
 
+    if args.service_smoke:
+        start = time.perf_counter()
+        service = bench_service(quick=True, trace_path=args.service_trace)
+        elapsed = time.perf_counter() - start
+        codec = service["codec"]
+        for name, entry in sorted(codec["messages"].items()):
+            print(
+                f"service smoke codec {name}: json {entry['json_fps']:,.0f} f/s, "
+                f"binary {entry['binary_fps']:,.0f} f/s ({entry['speedup']:.1f}x)"
+            )
+        print(
+            f"service smoke digest round-trip speedup: "
+            f"{codec['digest_roundtrip_speedup']:.1f}x"
+        )
+        total_completed = 0
+        for size, entry in sorted(service["demo"].items(), key=lambda kv: int(kv[0])):
+            total_completed += entry["completed"]
+            print(
+                f"service smoke demo N={size}: {entry['completed']}/"
+                f"{entry['num_queries']} completed, "
+                f"{entry['rounds_per_sec']:.1f} rounds/s, "
+                f"rpc p95 {entry['rpc_p95_ms']:.2f}ms"
+            )
+            if entry.get("invariant_error"):
+                print(
+                    f"service smoke FAILED: demo N={size} violated trace "
+                    f"invariants: {entry['invariant_error']}",
+                    file=sys.stderr,
+                )
+                return 1
+        if total_completed == 0:
+            print(
+                "service smoke FAILED: no demo query completed at any size",
+                file=sys.stderr,
+            )
+            return 1
+        if elapsed > args.budget_seconds:
+            print(
+                f"service smoke FAILED: {elapsed:.1f}s exceeds the "
+                f"{args.budget_seconds:.0f}s budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"service smoke ok ({elapsed:.1f}s)")
+        return 0
+
     if args.compare is not None:
         reports = []
         for path in (args.compare, args.against):
@@ -1504,6 +1851,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         columnar=args.columnar,
         worker_scaling_size=args.worker_scaling,
         serving=args.serving,
+        service=args.service,
     )
     write_report(report, args.output)
     _print_summary(report)

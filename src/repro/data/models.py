@@ -143,6 +143,25 @@ class UserProfile:
         return profile
 
     @classmethod
+    def from_state(
+        cls, user_id: int, actions: Iterable[TaggingAction], version: int
+    ) -> "UserProfile":
+        """Rebuild a profile from transferred state: actions + version.
+
+        The wire codecs ship a profile as its action set plus its *live*
+        version counter -- which counts every mutation since birth, not
+        just the actions currently present, and replica-freshness tracking
+        needs it intact across a codec round-trip.  This is the one
+        sanctioned way to restore a foreign version counter; everything
+        else about the profile matches :meth:`from_distinct_actions`.
+        """
+        if version < 0:
+            raise ValueError(f"profile version must be non-negative, got {version!r}")
+        profile = cls.from_distinct_actions(user_id, list(actions))
+        profile._version = version
+        return profile
+
+    @classmethod
     def from_columnar(cls, store, user_id: int) -> "UserProfile":
         """Materialize a profile from a :class:`~repro.data.columnar.ColumnarStore` row.
 

@@ -14,15 +14,20 @@ stream the simulator's transports emit, so the simtest invariant checkers
 simulated one.  See ``docs/ARCHITECTURE.md`` ("Service mode").
 """
 
-from .codec import WireCodec
-from .runtime import NodeService, ServiceConfig, ServiceRuntime
+from .codec import CODEC_NAMES, BinaryWireCodec, WireCodec, make_codec
+from .runtime import FrameBatcher, NodeService, ServiceConfig, ServiceRuntime, TimerWheel
 from .trace import ServiceTrace, check_trace
 
 __all__ = [
+    "BinaryWireCodec",
+    "CODEC_NAMES",
+    "FrameBatcher",
     "NodeService",
     "ServiceConfig",
     "ServiceRuntime",
     "ServiceTrace",
+    "TimerWheel",
     "WireCodec",
     "check_trace",
+    "make_codec",
 ]

@@ -1,37 +1,55 @@
-"""Wire codec: every transport :class:`Message` as a length-prefixed frame.
+"""Wire codecs: every transport :class:`Message` as a length-prefixed frame.
 
 The simulator hands message *objects* between nodes; the service runtime
-hands **bytes**.  This module is the single encoding layer in between: a
-type-tagged JSON body under a 4-byte big-endian length prefix.  JSON keeps
-frames debuggable (``tcpdump`` of a demo run is readable) and needs nothing
-outside the standard library; the byte *accounting* still uses the paper's
-cost model (:func:`repro.gossip.sizes.total_bytes`), never the frame length,
-so service-mode traffic numbers stay comparable with the simulator's.
+hands **bytes**.  This module holds the two encoding layers in between,
+selectable via ``ServiceConfig.codec``:
+
+* :class:`WireCodec` (``"json"``) -- a type-tagged compact-JSON body under
+  a 4-byte big-endian length prefix.  JSON keeps frames debuggable
+  (``tcpdump`` of a demo run is readable) and is the fallback reference
+  encoding.
+* :class:`BinaryWireCodec` (``"binary"``) -- the service hot path:
+  struct-packed headers, varint/zigzag integer fields, and Bloom digests
+  as raw little-endian byte rows (the exact ``DigestMatrix`` layout, so
+  :meth:`BloomFilter.from_state` round-trips reuse the pinned columnar
+  machinery).  A per-codec ``(user_id, version)``-keyed cache of encoded
+  digest rows skips re-serializing an unchanged digest, and -- when the
+  runtime commits successful sends -- digests the receiver was already
+  sent travel as 1-byte-marker references instead of full rows.
+
+Both codecs decode to *equal messages*: the cross-codec property test
+asserts field-for-field equality and identical pricing under
+:func:`repro.gossip.sizes.total_bytes`.  Byte *accounting* always uses
+that paper cost model, never the frame length, so service-mode traffic
+numbers stay comparable with the simulator's no matter the codec.
 
 Design rules:
 
-* **Total coverage, loudly enforced.**  ``_ENCODERS`` must cover every
-  concrete subclass of :class:`Message`; encoding an unregistered type
-  raises ``TypeError`` immediately and the round-trip property test
-  enumerates ``Message.__subclasses__()`` so a new message type added
-  without codec support fails the suite, mirroring how
-  :mod:`repro.gossip.sizes` pins its size table.
+* **Total coverage, loudly enforced.**  ``_ENCODERS`` (JSON) and
+  ``_BIN_ENCODERS`` (binary) must cover every concrete subclass of
+  :class:`Message`; encoding an unregistered type raises ``TypeError``
+  immediately and the round-trip property tests enumerate
+  ``Message.__subclasses__()`` so a new message type added without codec
+  support fails the suite, mirroring how :mod:`repro.gossip.sizes` pins
+  its size table.
 * **Process-portable payloads.**  Interned action ids are process-local
   (:mod:`repro.data.interning`), so :class:`CommonItemsReply` travels as
   explicit ``(item, tag)`` pairs and is re-interned on decode; Bloom
-  filters travel as ``(num_bits, num_hashes, hex bits, count)`` and are
-  rebuilt with :meth:`BloomFilter.from_state`.  Frames decode identically
-  in another process (the UDP transport) and in-process (the loopback).
+  filters travel as their full state and are rebuilt with
+  :meth:`BloomFilter.from_state`.  Frames decode identically in another
+  process (the UDP transport) and in-process (the loopback).
 * **Faithful round-trips.**  ``decode_message(encode_message(m))`` must
   compare equal to ``m`` field by field and price identically under
-  ``total_bytes`` -- the property test asserts both.
+  ``total_bytes`` -- the property tests assert both, for each codec and
+  across them.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Callable, Dict, Optional, Tuple, Type
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..bloom import BloomFilter
 from ..data.interning import action_of, intern_action
@@ -40,6 +58,14 @@ from ..data.queries import Query
 from ..gossip.digest import ProfileDigest
 from ..p3q.query import PartialResult
 from ..simulator.transport import (
+    DEFERRED,
+    DELIVERED,
+    DROPPED,
+    LOST,
+    REPLY_DROPPED,
+    UNREACHABLE,
+    VIEW_PERSONAL,
+    VIEW_RANDOM,
     CommonItemsReply,
     CommonItemsRequest,
     DigestAdvertisement,
@@ -60,6 +86,32 @@ _LEN = struct.Struct(">I")
 #: in-process loopback has no such limit; the UDP wire refuses larger
 #: frames loudly instead of truncating them.
 MAX_DATAGRAM_BYTES = 60_000
+
+
+def split_frames(payload: bytes) -> Tuple[List[bytes], bytes]:
+    """Split a wire payload into raw frame bodies + undecodable leftover.
+
+    Both codecs share the outer framing (4-byte big-endian length prefix),
+    so one scanner serves the batched inbox path: a datagram written by the
+    :class:`~repro.service.runtime.FrameBatcher` carries one or more whole
+    frames back to back.  Anything that does not parse as complete frames
+    -- a truncated tail, a garbage prefix claiming an absurd length -- is
+    returned as ``leftover`` for the caller to drop loudly.
+    """
+    bodies: List[bytes] = []
+    view = memoryview(payload)
+    offset = 0
+    total = len(payload)
+    while total - offset >= _LEN.size:
+        (length,) = _LEN.unpack_from(view, offset)
+        end = offset + _LEN.size + length
+        if total < end:
+            break
+        bodies.append(payload[offset + _LEN.size : end])
+        offset = end
+    if offset == 0:
+        return bodies, payload
+    return bodies, bytes(view[offset:])
 
 
 # ---------------------------------------------------------------- primitives
@@ -91,11 +143,11 @@ def _encode_profile(profile: UserProfile) -> Dict[str, Any]:
 
 
 def _decode_profile(obj: Dict[str, Any]) -> UserProfile:
-    profile = UserProfile(obj["u"], ((item, tag) for item, tag in obj["a"]))
     # The live version counts every mutation since birth, not just the
     # actions currently present; replica freshness tracking needs it intact.
-    profile._version = obj["v"]
-    return profile
+    return UserProfile.from_state(
+        obj["u"], ((item, tag) for item, tag in obj["a"]), obj["v"]
+    )
 
 
 def _encode_query(query: Query) -> Dict[str, Any]:
@@ -222,7 +274,14 @@ class WireCodec:
       :meth:`decode` -- a full runtime frame (addressing, rpc correlation
       id, delivery status) as bytes;
     * :meth:`frame` / :meth:`feed` -- the length-prefix stream layer.
+
+    The runtime drives any codec through the uniform surface ``split`` /
+    ``decode_body`` / ``encode_request`` / ``encode_reply`` /
+    ``encode_send`` / ``commit_sent`` / ``abort_sent``.
     """
+
+    #: Registry name (``ServiceConfig.codec``).
+    name = "json"
 
     # -- message layer --------------------------------------------------------
 
@@ -256,23 +315,35 @@ class WireCodec:
         if len(frame) < _LEN.size:
             raise ValueError("short frame: missing length prefix")
         (length,) = _LEN.unpack_from(frame)
-        body = frame[_LEN.size :]
-        if len(body) != length:
-            raise ValueError(f"frame length mismatch: header {length}, body {len(body)}")
-        return json.loads(body.decode("utf-8"))
+        if len(frame) - _LEN.size != length:
+            raise ValueError(
+                f"frame length mismatch: header {length}, body {len(frame) - _LEN.size}"
+            )
+        # json.loads accepts bytes directly; decoding to str first would
+        # copy every body a second time on the hot inbound path.
+        return json.loads(frame[_LEN.size :])
 
     def feed(self, buffer: bytes) -> Tuple[list, bytes]:
-        """Split a byte stream into complete frame bodies + leftover bytes."""
+        """Split a byte stream into complete frame bodies + leftover bytes.
+
+        Scans through a memoryview so an incomplete tail is the only copy
+        made (and only when frames were actually consumed); bodies go to
+        ``json.loads`` as bytes without an intermediate ``str``.
+        """
         bodies = []
+        view = memoryview(buffer)
         offset = 0
-        while len(buffer) - offset >= _LEN.size:
-            (length,) = _LEN.unpack_from(buffer, offset)
+        total = len(buffer)
+        while total - offset >= _LEN.size:
+            (length,) = _LEN.unpack_from(view, offset)
             end = offset + _LEN.size + length
-            if len(buffer) < end:
+            if total < end:
                 break
-            bodies.append(json.loads(buffer[offset + _LEN.size : end].decode("utf-8")))
+            bodies.append(json.loads(buffer[offset + _LEN.size : end]))
             offset = end
-        return bodies, buffer[offset:]
+        if offset == 0:
+            return bodies, buffer
+        return bodies, bytes(view[offset:])
 
     # -- runtime frames -------------------------------------------------------
 
@@ -335,3 +406,672 @@ class WireCodec:
                 account=out.get("ac", True),
             )
         return out
+
+    # -- runtime interface ----------------------------------------------------
+
+    def split(self, payload: bytes) -> Tuple[List[bytes], bytes]:
+        """Outer framing shared with the binary codec: see :func:`split_frames`."""
+        return split_frames(payload)
+
+    def decode_body(self, body: bytes) -> Dict[str, Any]:
+        """One raw frame body (as returned by :meth:`split`) to a decoded dict."""
+        return self.decode(json.loads(body))
+
+    def commit_sent(self, receiver: int) -> None:
+        """No-op: digest-advertisement suppression is a binary-codec feature."""
+
+    def abort_sent(self, receiver: int) -> None:
+        """No-op twin of :meth:`commit_sent`."""
+
+
+# ------------------------------------------------------------- binary codec
+
+
+#: IEEE-754 double, little-endian (partial-result scores).
+_F64 = struct.Struct("<d")
+
+#: Frame op bytes (binary twin of the JSON ``"req"/"rep"/"send"`` strings).
+_BIN_OP_REQ = 0x01
+_BIN_OP_REP = 0x02
+_BIN_OP_SEND = 0x03
+
+#: Delivery statuses as 1-byte indexes (replies only ever carry one of
+#: these; an unknown status fails encode loudly rather than truncating).
+_STATUS_TABLE = (DELIVERED, DROPPED, REPLY_DROPPED, DEFERRED, UNREACHABLE, LOST)
+_STATUS_INDEX = {status: index for index, status in enumerate(_STATUS_TABLE)}
+
+#: Decoder hygiene bounds: a hostile 127.0.0.1 peer must not make us
+#: allocate gigabytes from a forged varint.  Generous vs every real
+#: payload (paper digests are 20 Kbit; counts are view/exchange sized).
+_MAX_DIGEST_BITS = 1 << 26
+_MAX_SEQUENCE = 1 << 24
+
+_VIEW_CODES = {VIEW_RANDOM: 0, VIEW_PERSONAL: 1}
+_VIEW_NAMES = {code: name for name, code in _VIEW_CODES.items()}
+
+#: Digest-entry markers inside a DigestAdvertisement payload.
+_DIGEST_FULL = 0
+_DIGEST_REF = 1
+
+
+def _write_uv(out: bytearray, value: int) -> None:
+    """Unsigned LEB128 varint (counts, versions, rpc ids, geometry)."""
+    if value < 0:
+        raise ValueError(f"unsigned varint cannot encode {value!r}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uv(view: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    total = len(view)
+    while True:
+        if offset >= total:
+            raise ValueError("truncated varint")
+        byte = view[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def _write_sv(out: bytearray, value: int) -> None:
+    """Zigzag LEB128 varint (ids and other possibly-negative ints)."""
+    _write_uv(out, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+def _read_sv(view: bytes, offset: int) -> Tuple[int, int]:
+    raw, offset = _read_uv(view, offset)
+    return (raw >> 1) ^ -(raw & 1), offset
+
+
+def _write_len(out: bytearray, count: int) -> None:
+    if count > _MAX_SEQUENCE:
+        raise ValueError(f"sequence of {count} elements exceeds the wire bound")
+    _write_uv(out, count)
+
+
+def _read_len(view: bytes, offset: int) -> Tuple[int, int]:
+    count, offset = _read_uv(view, offset)
+    if count > _MAX_SEQUENCE:
+        raise ValueError(f"sequence length {count} exceeds the wire bound")
+    return count, offset
+
+
+def _write_actions(out: bytearray, actions) -> None:
+    pairs = sorted(actions)
+    _write_len(out, len(pairs))
+    for item, tag in pairs:
+        _write_sv(out, item)
+        _write_sv(out, tag)
+
+
+def _read_actions(view: bytes, offset: int) -> Tuple[List[Tuple[int, int]], int]:
+    count, offset = _read_len(view, offset)
+    pairs = []
+    for _ in range(count):
+        item, offset = _read_sv(view, offset)
+        tag, offset = _read_sv(view, offset)
+        pairs.append((item, tag))
+    return pairs, offset
+
+
+class BinaryWireCodec:
+    """The service hot-path codec: struct/varint frames, raw digest rows.
+
+    Same three layers as the JSON :class:`WireCodec` -- message bodies
+    (``encode_message``/``decode_message``, here as bytes), runtime frames,
+    and the shared length-prefix outer framing -- plus two caches that make
+    the digest-advertisement path cheap:
+
+    * **Encoded-row cache**: the wire encoding of a digest is keyed by
+      ``(user_id, version)``; re-advertising an unchanged digest is a dict
+      hit + blob copy instead of a fresh big-int serialization.
+    * **Suppression**: when the runtime confirms a send (``commit_sent``),
+      the ``(user_id, version)`` pairs shipped to that receiver are
+      remembered, and later advertisements carry a small *reference* entry
+      instead of the full row; the receiving codec resolves references
+      from the digests it has already decoded.  A reference the receiver
+      cannot resolve (evicted cache, a lost seeding frame) fails decode
+      loudly and the inbox drops the frame -- exactly the loss the gossip
+      protocol already tolerates.  Within a run ``(user_id, version)``
+      identifies digest content: profiles only move forward in version
+      (the replica-freshness invariant), so equal versions mean equal
+      digest bits.
+
+    Byte accounting is untouched by all of this: messages are priced by
+    ``gossip.sizes.total_bytes`` on the message *object* before encoding,
+    so a suppressed advertisement costs the same accounted bytes as a full
+    one (the paper's cost model charges per digest, not per wire byte).
+    """
+
+    name = "binary"
+
+    def __init__(
+        self,
+        suppress_digests: bool = True,
+        max_received_digests: int = 65536,
+        max_encoded_rows: int = 4096,
+    ) -> None:
+        self._suppress = suppress_digests
+        #: receiver -> {(user_id, version)} confirmed on that link.
+        self._sent: Dict[int, set] = {}
+        #: receiver -> [(user_id, version)] encoded but not yet confirmed.
+        self._pending: Dict[int, List[Tuple[int, int]]] = {}
+        #: (user_id, version) -> ProfileDigest decoded earlier (LRU-bounded).
+        self._received: "OrderedDict[Tuple[int, int], ProfileDigest]" = OrderedDict()
+        #: (user_id, version) -> encoded full digest entry (LRU-bounded).
+        self._rows: "OrderedDict[Tuple[int, int], bytes]" = OrderedDict()
+        self._max_received = max_received_digests
+        self._max_rows = max_encoded_rows
+
+    # -- digest plumbing ------------------------------------------------------
+
+    def _encode_digest_entry(self, out: bytearray, digest: ProfileDigest,
+                             receiver: Optional[int]) -> None:
+        key = (digest.user_id, digest.version)
+        if (
+            self._suppress
+            and receiver is not None
+            and key in self._sent.get(receiver, ())
+        ):
+            out.append(_DIGEST_REF)
+            _write_sv(out, digest.user_id)
+            _write_uv(out, digest.version)
+            return
+        row = self._rows.get(key)
+        if row is None:
+            entry = bytearray()
+            entry.append(_DIGEST_FULL)
+            _write_sv(entry, digest.user_id)
+            _write_uv(entry, digest.version)
+            bloom = digest.bloom
+            _write_uv(entry, bloom.num_bits)
+            _write_uv(entry, bloom.num_hashes)
+            _write_uv(entry, bloom.approximate_count)
+            entry += bloom.raw_bits.to_bytes((bloom.num_bits + 7) // 8, "little")
+            row = bytes(entry)
+            self._rows[key] = row
+            if len(self._rows) > self._max_rows:
+                self._rows.popitem(last=False)
+        out += row
+        if self._suppress and receiver is not None:
+            self._pending.setdefault(receiver, []).append(key)
+
+    def _decode_digest_entry(
+        self, view: bytes, offset: int
+    ) -> Tuple[ProfileDigest, int]:
+        if offset >= len(view):
+            raise ValueError("truncated digest entry")
+        marker = view[offset]
+        offset += 1
+        user_id, offset = _read_sv(view, offset)
+        version, offset = _read_uv(view, offset)
+        key = (user_id, version)
+        if marker == _DIGEST_REF:
+            digest = self._received.get(key)
+            if digest is None:
+                raise ValueError(
+                    f"unknown digest reference (user {user_id}, version {version}); "
+                    "the seeding frame was never received"
+                )
+            self._received.move_to_end(key)
+            return digest, offset
+        if marker != _DIGEST_FULL:
+            raise ValueError(f"bad digest entry marker {marker!r}")
+        num_bits, offset = _read_uv(view, offset)
+        if not 0 < num_bits <= _MAX_DIGEST_BITS:
+            raise ValueError(f"digest num_bits {num_bits} out of range")
+        num_hashes, offset = _read_uv(view, offset)
+        count, offset = _read_uv(view, offset)
+        width = (num_bits + 7) // 8
+        end = offset + width
+        if end > len(view):
+            raise ValueError("truncated digest row")
+        # The row is the DigestMatrix layout: raw filter bits, little-endian.
+        bits = int.from_bytes(view[offset:end], "little")
+        bloom = BloomFilter.from_state(num_bits, num_hashes, bits, count)
+        digest = ProfileDigest(user_id=user_id, version=version, bloom=bloom)
+        self._received[key] = digest
+        if len(self._received) > self._max_received:
+            self._received.popitem(last=False)
+        return digest, end
+
+    def commit_sent(self, receiver: int) -> None:
+        """Confirm the last encode to ``receiver``: its digests may now be
+        referenced instead of re-shipped (called after the wire accepted
+        the frame)."""
+        pending = self._pending.pop(receiver, None)
+        if not pending:
+            return
+        sent = self._sent.setdefault(receiver, set())
+        sent.update(pending)
+        if len(sent) > self._max_received:
+            # Shed the whole link table rather than track precise LRU on the
+            # hot path; full rows are always correct.
+            sent.clear()
+
+    def abort_sent(self, receiver: int) -> None:
+        """The wire refused the frame: forget its would-be references."""
+        self._pending.pop(receiver, None)
+
+    # -- message layer --------------------------------------------------------
+
+    def encode_message(self, message: Message, receiver: Optional[int] = None) -> bytes:
+        entry = _BIN_ENCODERS.get(type(message))
+        if entry is None:
+            raise TypeError(
+                f"no binary wire encoding registered for {type(message).__name__}; "
+                "add it to repro.service.codec._BIN_ENCODERS/_BIN_DECODERS"
+            )
+        tag, encoder = entry
+        out = bytearray((tag,))
+        encoder(self, out, message, receiver)
+        return bytes(out)
+
+    def decode_message(self, data: bytes) -> Message:
+        message, offset = self._decode_message_at(data, 0)
+        if offset != len(data):
+            raise ValueError(f"{len(data) - offset} trailing bytes after message")
+        return message
+
+    def _decode_message_at(self, view: bytes, offset: int) -> Tuple[Message, int]:
+        if offset >= len(view):
+            raise ValueError("truncated message: missing tag")
+        tag = view[offset]
+        decoder = _BIN_DECODERS.get(tag)
+        if decoder is None:
+            raise ValueError(f"unknown binary wire message tag {tag!r}")
+        return decoder(self, view, offset + 1)
+
+    # -- frame layer ----------------------------------------------------------
+
+    def frame(self, body: bytes) -> bytes:
+        """One length-prefixed frame around an already-encoded body."""
+        return _LEN.pack(len(body)) + body
+
+    def unframe(self, frame: bytes) -> bytes:
+        if len(frame) < _LEN.size:
+            raise ValueError("short frame: missing length prefix")
+        (length,) = _LEN.unpack_from(frame)
+        if len(frame) - _LEN.size != length:
+            raise ValueError(
+                f"frame length mismatch: header {length}, body {len(frame) - _LEN.size}"
+            )
+        return frame[_LEN.size :]
+
+    # -- runtime frames -------------------------------------------------------
+
+    def encode_request(self, envelope: Envelope, rpc_id: int) -> bytes:
+        out = bytearray((_BIN_OP_REQ,))
+        _write_uv(out, rpc_id)
+        self._encode_addressing(out, envelope)
+        return self.frame(bytes(out))
+
+    def encode_reply(self, rpc_id: int, status: str, reply: Optional[Message]) -> bytes:
+        index = _STATUS_INDEX.get(status)
+        if index is None:
+            raise ValueError(f"unknown delivery status {status!r}")
+        out = bytearray((_BIN_OP_REP,))
+        _write_uv(out, rpc_id)
+        out.append(index)
+        if reply is None:
+            out.append(0)
+        else:
+            out.append(1)
+            out += self.encode_message(reply)
+        return self.frame(bytes(out))
+
+    def encode_send(self, envelope: Envelope) -> bytes:
+        out = bytearray((_BIN_OP_SEND,))
+        self._encode_addressing(out, envelope)
+        return self.frame(bytes(out))
+
+    def _encode_addressing(self, out: bytearray, envelope: Envelope) -> None:
+        _write_sv(out, envelope.sender)
+        _write_sv(out, envelope.receiver)
+        flags = (1 if envelope.account else 0) | (
+            2 if envelope.query_id is not None else 0
+        )
+        out.append(flags)
+        if envelope.query_id is not None:
+            _write_sv(out, envelope.query_id)
+        out += self.encode_message(envelope.message, receiver=envelope.receiver)
+
+    # -- runtime interface ----------------------------------------------------
+
+    def split(self, payload: bytes) -> Tuple[List[bytes], bytes]:
+        return split_frames(payload)
+
+    def decode_body(self, body: bytes) -> Dict[str, Any]:
+        """One raw frame body to the decoded dict the runtime dispatches on.
+
+        Same shape as :meth:`WireCodec.decode`: ``op``/``rpc``/``st``/``m``
+        plus a ready ``envelope`` for inbound requests and sends.
+        """
+        if not body:
+            raise ValueError("empty frame body")
+        op = body[0]
+        offset = 1
+        if op == _BIN_OP_REP:
+            rpc_id, offset = _read_uv(body, offset)
+            if offset + 2 > len(body):
+                raise ValueError("truncated reply header")
+            status_index = body[offset]
+            has_message = body[offset + 1]
+            offset += 2
+            if status_index >= len(_STATUS_TABLE):
+                raise ValueError(f"unknown delivery status index {status_index}")
+            message: Optional[Message] = None
+            if has_message:
+                message, offset = self._decode_message_at(body, offset)
+            if offset != len(body):
+                raise ValueError("trailing bytes after reply")
+            return {
+                "op": "rep",
+                "rpc": rpc_id,
+                "st": _STATUS_TABLE[status_index],
+                "m": message,
+            }
+        if op not in (_BIN_OP_REQ, _BIN_OP_SEND):
+            raise ValueError(f"unknown binary frame op {op!r}")
+        rpc_id = None
+        if op == _BIN_OP_REQ:
+            rpc_id, offset = _read_uv(body, offset)
+        sender, offset = _read_sv(body, offset)
+        receiver, offset = _read_sv(body, offset)
+        if offset >= len(body):
+            raise ValueError("truncated frame: missing flags")
+        flags = body[offset]
+        offset += 1
+        query_id = None
+        if flags & 2:
+            query_id, offset = _read_sv(body, offset)
+        message, offset = self._decode_message_at(body, offset)
+        if offset != len(body):
+            raise ValueError("trailing bytes after message")
+        expects_reply = op == _BIN_OP_REQ
+        decoded: Dict[str, Any] = {
+            "op": "req" if expects_reply else "send",
+            "s": sender,
+            "r": receiver,
+            "q": query_id,
+            "er": expects_reply,
+            "ac": bool(flags & 1),
+            "m": message,
+        }
+        if rpc_id is not None:
+            decoded["rpc"] = rpc_id
+        decoded["envelope"] = Envelope(
+            sender=sender,
+            receiver=receiver,
+            message=message,
+            query_id=query_id,
+            expects_reply=expects_reply,
+            account=bool(flags & 1),
+        )
+        return decoded
+
+
+# -- binary message table ----------------------------------------------------
+
+
+def _bin_enc_digests(codec, out, m: DigestAdvertisement, receiver) -> None:
+    out.append(_VIEW_CODES[m.view])
+    _write_len(out, len(m.digests))
+    for digest in m.digests:
+        codec._encode_digest_entry(out, digest, receiver)
+
+
+def _bin_dec_digests(codec, view, offset):
+    if offset >= len(view):
+        raise ValueError("truncated advertisement: missing view byte")
+    view_code = view[offset]
+    if view_code not in _VIEW_NAMES:
+        raise ValueError(f"unknown view code {view_code!r}")
+    offset += 1
+    count, offset = _read_len(view, offset)
+    digests = []
+    for _ in range(count):
+        digest, offset = codec._decode_digest_entry(view, offset)
+        digests.append(digest)
+    return DigestAdvertisement(digests=tuple(digests), view=_VIEW_NAMES[view_code]), offset
+
+
+def _bin_enc_common_req(codec, out, m: CommonItemsRequest, receiver) -> None:
+    _write_sv(out, m.subject_id)
+    items = sorted(m.items)
+    _write_len(out, len(items))
+    for item in items:
+        _write_sv(out, item)
+
+
+def _bin_dec_common_req(codec, view, offset):
+    subject, offset = _read_sv(view, offset)
+    count, offset = _read_len(view, offset)
+    items = []
+    for _ in range(count):
+        item, offset = _read_sv(view, offset)
+        items.append(item)
+    return CommonItemsRequest(subject_id=subject, items=frozenset(items)), offset
+
+
+def _bin_enc_common_rep(codec, out, m: CommonItemsReply, receiver) -> None:
+    _write_sv(out, m.subject_id)
+    if m.actions is None:
+        out.append(0)
+        return
+    out.append(1)
+    _write_actions(out, (action_of(action_id) for action_id in m.actions))
+
+
+def _bin_dec_common_rep(codec, view, offset):
+    subject, offset = _read_sv(view, offset)
+    if offset >= len(view):
+        raise ValueError("truncated common-items reply")
+    has_actions = view[offset]
+    offset += 1
+    actions = None
+    if has_actions:
+        pairs, offset = _read_actions(view, offset)
+        actions = frozenset(intern_action(item, tag) for item, tag in pairs)
+    return CommonItemsReply(subject_id=subject, actions=actions), offset
+
+
+def _bin_enc_profile_req(codec, out, m: FullProfileRequest, receiver) -> None:
+    _write_sv(out, m.subject_id)
+
+
+def _bin_dec_profile_req(codec, view, offset):
+    subject, offset = _read_sv(view, offset)
+    return FullProfileRequest(subject_id=subject), offset
+
+
+def _bin_enc_profile_push(codec, out, m: FullProfilePush, receiver) -> None:
+    _write_sv(out, m.subject_id)
+    profile = m.profile
+    if profile is None:
+        out.append(0)
+        return
+    out.append(1)
+    _write_sv(out, profile.user_id)
+    _write_uv(out, profile.version)
+    _write_actions(out, profile.actions)
+
+
+def _bin_dec_profile_push(codec, view, offset):
+    subject, offset = _read_sv(view, offset)
+    if offset >= len(view):
+        raise ValueError("truncated profile push")
+    has_profile = view[offset]
+    offset += 1
+    profile = None
+    if has_profile:
+        user_id, offset = _read_sv(view, offset)
+        version, offset = _read_uv(view, offset)
+        pairs, offset = _read_actions(view, offset)
+        profile = UserProfile.from_state(user_id, pairs, version)
+    return FullProfilePush(subject_id=subject, profile=profile), offset
+
+
+def _bin_enc_query_fwd(codec, out, m: QueryForward, receiver) -> None:
+    query = m.query
+    _write_sv(out, query.query_id)
+    _write_sv(out, query.querier)
+    _write_len(out, len(query.tags))
+    for tag in query.tags:
+        _write_sv(out, tag)
+    if query.source_item is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _write_sv(out, query.source_item)
+    _write_len(out, len(m.remaining))
+    for user_id in m.remaining:
+        _write_sv(out, user_id)
+    _write_sv(out, m.cycle)
+
+
+def _bin_dec_query_fwd(codec, view, offset):
+    query_id, offset = _read_sv(view, offset)
+    querier, offset = _read_sv(view, offset)
+    num_tags, offset = _read_len(view, offset)
+    tags = []
+    for _ in range(num_tags):
+        tag, offset = _read_sv(view, offset)
+        tags.append(tag)
+    if offset >= len(view):
+        raise ValueError("truncated query forward")
+    has_source = view[offset]
+    offset += 1
+    source_item = None
+    if has_source:
+        source_item, offset = _read_sv(view, offset)
+    num_remaining, offset = _read_len(view, offset)
+    remaining = []
+    for _ in range(num_remaining):
+        user_id, offset = _read_sv(view, offset)
+        remaining.append(user_id)
+    cycle, offset = _read_sv(view, offset)
+    query = Query(
+        query_id=query_id, querier=querier, tags=tuple(tags), source_item=source_item
+    )
+    return QueryForward(query=query, remaining=tuple(remaining), cycle=cycle), offset
+
+
+def _bin_enc_remaining_ret(codec, out, m: RemainingReturn, receiver) -> None:
+    _write_sv(out, m.query_id)
+    _write_len(out, len(m.remaining))
+    for user_id in m.remaining:
+        _write_sv(out, user_id)
+
+
+def _bin_dec_remaining_ret(codec, view, offset):
+    query_id, offset = _read_sv(view, offset)
+    count, offset = _read_len(view, offset)
+    remaining = []
+    for _ in range(count):
+        user_id, offset = _read_sv(view, offset)
+        remaining.append(user_id)
+    return RemainingReturn(query_id=query_id, remaining=tuple(remaining)), offset
+
+
+def _bin_enc_query_res(codec, out, m: QueryResult, receiver) -> None:
+    partial = m.partial
+    _write_sv(out, partial.query_id)
+    _write_sv(out, partial.sender)
+    _write_sv(out, partial.cycle)
+    scores = sorted(partial.scores.items())
+    _write_len(out, len(scores))
+    for item, score in scores:
+        _write_sv(out, item)
+        out += _F64.pack(score)
+    _write_len(out, len(partial.contributors))
+    for user_id in partial.contributors:
+        _write_sv(out, user_id)
+
+
+def _bin_dec_query_res(codec, view, offset):
+    query_id, offset = _read_sv(view, offset)
+    sender, offset = _read_sv(view, offset)
+    cycle, offset = _read_sv(view, offset)
+    num_scores, offset = _read_len(view, offset)
+    scores = {}
+    for _ in range(num_scores):
+        item, offset = _read_sv(view, offset)
+        end = offset + _F64.size
+        if end > len(view):
+            raise ValueError("truncated score")
+        scores[item] = _F64.unpack_from(view, offset)[0]
+        offset = end
+    num_contributors, offset = _read_len(view, offset)
+    contributors = []
+    for _ in range(num_contributors):
+        user_id, offset = _read_sv(view, offset)
+        contributors.append(user_id)
+    partial = PartialResult(
+        query_id=query_id,
+        sender=sender,
+        scores=scores,
+        contributors=tuple(contributors),
+        cycle=cycle,
+    )
+    return QueryResult(partial=partial), offset
+
+
+#: ``type -> (1-byte wire tag, encoder)``.  Total over the catalogue, like
+#: ``_ENCODERS``; the coverage test enforces parity between the two tables.
+_BIN_ENCODERS: Dict[Type[Message], Tuple[int, Callable]] = {
+    DigestAdvertisement: (1, _bin_enc_digests),
+    CommonItemsRequest: (2, _bin_enc_common_req),
+    CommonItemsReply: (3, _bin_enc_common_rep),
+    FullProfileRequest: (4, _bin_enc_profile_req),
+    FullProfilePush: (5, _bin_enc_profile_push),
+    QueryForward: (6, _bin_enc_query_fwd),
+    RemainingReturn: (7, _bin_enc_remaining_ret),
+    QueryResult: (8, _bin_enc_query_res),
+}
+
+_BIN_DECODERS: Dict[int, Callable] = {
+    1: _bin_dec_digests,
+    2: _bin_dec_common_req,
+    3: _bin_dec_common_rep,
+    4: _bin_dec_profile_req,
+    5: _bin_dec_profile_push,
+    6: _bin_dec_query_fwd,
+    7: _bin_dec_remaining_ret,
+    8: _bin_dec_query_res,
+}
+
+
+# ------------------------------------------------------------ codec registry
+
+
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+#: Names accepted by ``ServiceConfig.codec``.
+CODEC_NAMES = (CODEC_JSON, CODEC_BINARY)
+
+
+def make_codec(name: str):
+    """One codec instance for one node.
+
+    The JSON codec is stateless, but the binary codec carries per-node
+    digest caches (what this node has decoded, what each peer was sent),
+    so every :class:`~repro.service.runtime.NodeService` gets its own.
+    """
+    if name == CODEC_BINARY:
+        return BinaryWireCodec()
+    if name == CODEC_JSON:
+        return WireCodec()
+    raise ValueError(f"codec must be one of {CODEC_NAMES}, got {name!r}")

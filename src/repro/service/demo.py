@@ -54,6 +54,7 @@ async def run_demo(
     num_queries: int = DEFAULT_NUM_QUERIES,
     seed: int = 42,
     wire: str = "inproc",
+    codec: Optional[str] = None,
     deadline: Optional[float] = None,
     storage: int = DEFAULT_STORAGE,
     service_config: Optional[ServiceConfig] = None,
@@ -72,13 +73,27 @@ async def run_demo(
 
     workload = build_demo_workload(num_users=num_users, num_queries=num_queries, seed=seed)
     simulation = converged_simulation(workload, storage)
-    config = service_config or ServiceConfig(wire=wire)
+    if service_config is not None:
+        config = service_config
+    elif codec is not None:
+        config = ServiceConfig(wire=wire, codec=codec)
+    else:
+        config = ServiceConfig(wire=wire)
     runtime = ServiceRuntime(simulation, config)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
     await runtime.start()
     try:
         sessions = await runtime.run_queries(workload.queries, deadline=deadline)
     finally:
         await runtime.stop()
+    wall = loop.time() - started
+    latencies = sorted(runtime.rpc_latencies)
+    rpc_p95_ms = (
+        latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))] * 1e3
+        if latencies
+        else 0.0
+    )
 
     if trace_path is not None:
         runtime.trace.dump(trace_path)
@@ -109,7 +124,14 @@ async def run_demo(
         "num_users": num_users,
         "num_queries": len(per_query),
         "wire": config.wire,
+        "codec": config.codec,
         "seed": seed,
+        "wall_seconds": wall,
+        "gossip_rounds": runtime.gossip_rounds,
+        "eager_ticks": runtime.eager_ticks,
+        "rounds_per_sec": runtime.gossip_rounds / wall if wall > 0 else 0.0,
+        "rpc_count": len(latencies),
+        "rpc_p95_ms": rpc_p95_ms,
         "completed": completed,
         "mean_recall": (
             sum(row["recall"] for row in per_query) / len(per_query) if per_query else 0.0
@@ -135,8 +157,12 @@ def format_report(report: Dict[str, Any]) -> str:
     """The human-readable demo summary printed by ``--demo``."""
     lines = [
         f"service demo: {report['num_users']} nodes over the "
-        f"{report['wire']} wire (seed {report['seed']})",
+        f"{report['wire']} wire, {report.get('codec', 'json')} codec "
+        f"(seed {report['seed']})",
         f"  queries completed: {report['completed']}/{report['num_queries']}",
+        f"  gossip rounds: {report.get('gossip_rounds', 0)} "
+        f"({report.get('rounds_per_sec', 0.0):.1f}/s), "
+        f"rpc p95 {report.get('rpc_p95_ms', 0.0):.2f} ms",
         f"  mean recall vs centralized reference: {report['mean_recall']:.3f}",
         f"  mean coverage: {report['mean_coverage']:.3f}",
         f"  bytes on the wire: {report['bytes_total']}",

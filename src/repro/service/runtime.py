@@ -6,15 +6,20 @@ iteration; this runtime executes the *same protocol cores* -- the
 serialized frames:
 
 * each node is a :class:`NodeService`: an inbox task (one sub-task per
-  inbound frame, so nested round-trips between two nodes cannot deadlock),
-  a **gossip timer** firing the lazy round (peer sampling + Algorithm 1)
-  and an **eager timer** firing the query round and folding received
-  partial results into per-tick snapshots -- the timers replace engine
-  cycles;
-* messages travel through a pluggable wire as WireCodec frames: the
-  in-process :class:`InProcWire` (asyncio queues carrying *encoded bytes*)
-  by default, or :class:`UdpWire` (one real UDP socket per node on
-  127.0.0.1, frames bounded by :data:`~repro.service.codec.MAX_DATAGRAM_BYTES`);
+  inbound frame, so nested round-trips between two nodes cannot deadlock)
+  plus gossip/eager rounds fired by the runtime's shared
+  :class:`TimerWheel` -- one scheduler task drives every node's jittered
+  deadlines from a heap, replacing the two private timer tasks per node
+  of the original design;
+* messages travel through a pluggable wire as codec frames (JSON or
+  binary, per ``ServiceConfig.codec``): the in-process :class:`InProcWire`
+  (asyncio queues carrying *encoded bytes*) by default, or :class:`UdpWire`
+  (one real UDP socket per node on 127.0.0.1, frames bounded by
+  :data:`~repro.service.codec.MAX_DATAGRAM_BYTES`).  One-way frames
+  queued in the same loop tick for the same destination are coalesced by
+  the :class:`FrameBatcher` into a single wire write; request and reply
+  frames flush immediately (the rpc boundary is never traded for
+  batching);
 * round-trips are rpc-correlated and guarded by a timeout: a request whose
   reply does not arrive in time resolves to ``DROPPED``, the same status a
   lossy transport hands the protocol, so the sans-io cores need no notion
@@ -27,8 +32,10 @@ The runtime wraps a fully built :class:`~repro.p3q.protocol.P3QSimulation`
 -- construction, warm start, churn bookkeeping and the stats collector are
 shared with the simulator -- but never runs its engine.  Byte accounting
 follows the transport's exact rules (priced by ``gossip.sizes`` at send
-time; control messages and ``None``-payload replies free), every wire
-action is recorded as a :class:`~repro.simulator.transport.WireEvent` in a
+time; control messages and ``None``-payload replies free) **regardless of
+codec** -- batching and digest suppression change wire bytes, never
+accounted bytes -- every wire action is recorded as a
+:class:`~repro.simulator.transport.WireEvent` in a
 :class:`~repro.service.trace.ServiceTrace`, and
 :func:`~repro.service.trace.check_trace` audits the run with the simtest
 invariant checkers.
@@ -46,10 +53,13 @@ Two effect outcomes differ from the engine driver by design (documented in
 from __future__ import annotations
 
 import asyncio
+import heapq
 import logging
+import math
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..data.queries import Query
 from ..gossip.sizes import total_bytes
@@ -74,7 +84,7 @@ from ..simulator.transport import (
     Message,
     WireEvent,
 )
-from .codec import MAX_DATAGRAM_BYTES, WireCodec
+from .codec import CODEC_BINARY, CODEC_NAMES, MAX_DATAGRAM_BYTES, make_codec
 from .trace import ServiceTrace
 
 logger = logging.getLogger(__name__)
@@ -115,18 +125,46 @@ class ServiceConfig:
     query_deadline: float = 3.0
     #: ``"inproc"`` (asyncio loopback, default) or ``"udp"`` (127.0.0.1 sockets).
     wire: str = WIRE_INPROC
+    #: ``"binary"`` (the hot path, default) or ``"json"`` (debuggable frames).
+    codec: str = CODEC_BINARY
     #: Multiplicative timer jitter range (``1 ± jitter``), desynchronizing
     #: nodes the way real clocks drift apart.
     jitter: float = 0.2
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Field and range checks, in the :meth:`P3QConfig.validate` style.
+
+        Every knob is checked for type, finiteness and range -- ``nan`` and
+        ``inf`` pass a bare ``<= 0`` comparison and would otherwise wedge a
+        timer forever.
+        """
         if self.wire not in WIRE_NAMES:
             raise ValueError(f"wire must be one of {WIRE_NAMES}, got {self.wire!r}")
-        for name in ("gossip_interval", "eager_interval", "rpc_timeout", "query_deadline"):
-            if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive, got {getattr(self, name)!r}")
-        if not 0.0 <= self.jitter < 1.0:
-            raise ValueError(f"jitter must be in [0, 1), got {self.jitter!r}")
+        if self.codec not in CODEC_NAMES:
+            raise ValueError(
+                f"codec must be one of {CODEC_NAMES}, got {self.codec!r}"
+            )
+        positive = (
+            ("gossip_interval", self.gossip_interval),
+            ("eager_interval", self.eager_interval),
+            ("rpc_timeout", self.rpc_timeout),
+            ("query_deadline", self.query_deadline),
+        )
+        for name, value in positive:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"{name} must be a positive finite number, got {value!r}"
+                )
+        jitter = self.jitter
+        if isinstance(jitter, bool) or not isinstance(jitter, (int, float)):
+            raise ValueError(f"jitter must be a number, got {jitter!r}")
+        if not math.isfinite(jitter) or not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
 
 
 # -------------------------------------------------------------------- wires
@@ -152,6 +190,9 @@ class InProcWire:
 
     def inbox(self, node_id: int) -> asyncio.Queue:
         return self._inboxes[node_id]
+
+    def has_peer(self, node_id: int) -> bool:
+        return node_id in self._inboxes
 
     def send(self, receiver: int, frame: bytes) -> bool:
         inbox = self._inboxes.get(receiver)
@@ -204,6 +245,9 @@ class UdpWire:
     def inbox(self, node_id: int) -> asyncio.Queue:
         return self._inboxes[node_id]
 
+    def has_peer(self, node_id: int) -> bool:
+        return node_id in self._addresses
+
     def send(self, receiver: int, frame: bytes) -> bool:
         address = self._addresses.get(receiver)
         if address is None:
@@ -225,27 +269,181 @@ def make_wire(name: str):
     return InProcWire()
 
 
+# ------------------------------------------------------------ frame batching
+
+
+class FrameBatcher:
+    """Coalesce same-loop-tick one-way frames per destination.
+
+    The gossip hot path emits bursts of small one-way frames (suppressed
+    digest advertisements, remaining-returns) toward the same receiver
+    within one loop iteration; writing each individually costs one queue
+    put or one ``sendto`` syscall apiece.  The batcher buffers them per
+    destination and flushes the concatenation as one wire write on the
+    next loop tick (``call_soon``), under :data:`MAX_DATAGRAM_BYTES` --
+    both codecs share the length-prefix outer framing, so the receiver's
+    ``split`` recovers the individual bodies.
+
+    Flush rules, in order of precedence:
+
+    * :meth:`send_now` -- requests and replies: queued frames to that
+      destination flush first (frame order on a link is preserved), then
+      the frame is written through immediately.  Rpc latency is never
+      traded for batching.
+    * an over-budget batch flushes eagerly before admitting the new frame;
+    * a single frame larger than the budget is written through on its own
+      so the UDP wire's loud refusal surfaces in the caller's context;
+    * everything else flushes on the scheduled tick (or :meth:`flush_all`
+      during shutdown).
+    """
+
+    def __init__(self, wire) -> None:
+        self._wire = wire
+        self._pending: Dict[int, List[bytes]] = {}
+        self._sizes: Dict[int, int] = {}
+        self._scheduled = False
+
+    def send(self, receiver: int, frame: bytes) -> bool:
+        """Queue a one-way frame; returns whether the receiver is reachable."""
+        if not self._wire.has_peer(receiver):
+            return False
+        if len(frame) > MAX_DATAGRAM_BYTES:
+            self.flush(receiver)
+            return self._wire.send(receiver, frame)
+        size = self._sizes.get(receiver, 0)
+        if size and size + len(frame) > MAX_DATAGRAM_BYTES:
+            self.flush(receiver)
+        self._pending.setdefault(receiver, []).append(frame)
+        self._sizes[receiver] = self._sizes.get(receiver, 0) + len(frame)
+        if not self._scheduled:
+            self._scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush_tick)
+        return True
+
+    def send_now(self, receiver: int, frame: bytes) -> bool:
+        """Rpc-boundary write-through (flushes queued frames first)."""
+        if not self._wire.has_peer(receiver):
+            return False
+        self.flush(receiver)
+        return self._wire.send(receiver, frame)
+
+    def flush(self, receiver: int) -> None:
+        frames = self._pending.pop(receiver, None)
+        self._sizes.pop(receiver, None)
+        if frames:
+            self._wire.send(
+                receiver, frames[0] if len(frames) == 1 else b"".join(frames)
+            )
+
+    def flush_all(self) -> None:
+        for receiver in list(self._pending):
+            self.flush(receiver)
+
+    def empty(self) -> bool:
+        return not self._pending
+
+    def _flush_tick(self) -> None:
+        self._scheduled = False
+        self.flush_all()
+
+
+# --------------------------------------------------------------- timer wheel
+
+
+class TimerWheel:
+    """One scheduler task driving every node's jittered deadlines.
+
+    Replaces the original two-asyncio-tasks-per-node timer design: a heap
+    of ``(deadline, seq, callback)`` entries and a single ``timer-wheel``
+    task that sleeps until the earliest deadline, pops everything due, and
+    fires the callbacks synchronously (callbacks spawn round tasks; they
+    must not block).  O(active timers) memory, O(log n) per schedule, one
+    task total -- the firing *times* are exactly the ones the per-node
+    loops would have produced, because each node still draws its jitter
+    from its own seeded rng.
+
+    ``schedule`` after :meth:`stop` is a silent no-op: in-flight rounds
+    rescheduling themselves during shutdown simply stop recurring.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._running = False
+
+    def start(self) -> None:
+        self._wakeup = asyncio.Event()
+        self._running = True
+        self._task = asyncio.create_task(self._run(), name="timer-wheel")
+        self._task.add_done_callback(_report_task_failure)
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._task is None:
+            return
+        self._wakeup.set()
+        await asyncio.gather(self._task, return_exceptions=True)
+        self._task = None
+        self._heap.clear()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fire ``callback`` in the wheel task ``delay`` seconds from now."""
+        if not self._running:
+            return
+        self._seq += 1
+        deadline = asyncio.get_running_loop().time() + delay
+        heapq.heappush(self._heap, (deadline, self._seq, callback))
+        self._wakeup.set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self._running:
+            while self._heap and self._heap[0][0] <= loop.time():
+                _, _, callback = heapq.heappop(self._heap)
+                callback()
+            if self._heap:
+                timeout = max(0.0, self._heap[0][0] - loop.time())
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout)
+                except asyncio.TimeoutError:
+                    continue
+            else:
+                await self._wakeup.wait()
+            self._wakeup.clear()
+
+
 # ------------------------------------------------------------- node service
 
 
 class NodeService:
-    """One node as a set of asyncio tasks: inbox, gossip timer, eager timer."""
+    """One node: an inbox task plus wheel-driven gossip/eager rounds."""
 
     def __init__(self, node, runtime: "ServiceRuntime") -> None:
         self.node = node
         self.node_id = node.node_id
         self.runtime = runtime
+        #: Per-node codec instance: the binary codec carries digest caches
+        #: (what this node decoded, what each peer was already sent).
+        self.codec = make_codec(runtime.config.codec)
         self._rpc_futures: Dict[int, asyncio.Future] = {}
         self._rpc_counter = 0
-        #: The node's local eager clock: one tick per eager-timer firing.
+        #: The node's local eager clock: one tick per eager-round firing.
         #: Stamps query sessions and forwards exactly like engine cycles.
         self.tick = 0
         self._timer_rng = random.Random(
             f"{runtime.simulation.config.seed}/service/{self.node_id}"
         )
-        self._tasks: List[asyncio.Task] = []
         self._inbox_task: Optional[asyncio.Task] = None
         self._inflight: set = set()
+        self._rounds: set = set()
+        #: Recent wheel firing times (loop clock), for jitter diagnostics.
+        self.gossip_fire_times: Deque[float] = deque(maxlen=256)
+        self.eager_fire_times: Deque[float] = deque(maxlen=256)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -254,17 +452,21 @@ class NodeService:
             self._inbox_loop(), name=f"inbox-{self.node_id}"
         )
         self._inbox_task.add_done_callback(_report_task_failure)
-        self._tasks = [
-            asyncio.create_task(self._gossip_loop(), name=f"gossip-{self.node_id}"),
-            asyncio.create_task(self._eager_loop(), name=f"eager-{self.node_id}"),
-        ]
-        for task in self._tasks:
-            task.add_done_callback(_report_task_failure)
+        # Random phase offset: engine cycles fire every node in lockstep,
+        # real deployments drift apart immediately.
+        wheel = self.runtime.wheel
+        config = self.runtime.config
+        wheel.schedule(
+            self._timer_rng.uniform(0.0, config.gossip_interval), self._fire_gossip
+        )
+        wheel.schedule(
+            self._timer_rng.uniform(0.0, config.eager_interval), self._fire_eager
+        )
 
-    async def join_timers(self) -> None:
-        """Wait for the timer loops to exit (after the runtime quiesces)."""
-        await asyncio.gather(*self._tasks, return_exceptions=True)
-        self._tasks = []
+    async def join_rounds(self) -> None:
+        """Wait for in-flight gossip/eager rounds (after the wheel stops)."""
+        while self._rounds:
+            await asyncio.gather(*list(self._rounds), return_exceptions=True)
 
     async def join_handlers(self) -> None:
         """Wait for every in-flight inbound handler to finish."""
@@ -336,16 +538,21 @@ class NodeService:
             runtime.account(sender, receiver, message, query_id)
         self._rpc_counter += 1
         rpc_id = self._rpc_counter
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
         self._rpc_futures[rpc_id] = future
         envelope = Envelope(sender, receiver, message, query_id, True, account)
-        delivered = runtime.wire.send(receiver, runtime.codec.encode_request(envelope, rpc_id))
+        frame = self.codec.encode_request(envelope, rpc_id)
+        started = loop.time()
+        delivered = runtime.batcher.send_now(receiver, frame)
         if not delivered:
             # The wire lost the address after the bytes were spent: report a
             # drop (accounted), not unreachability (which is never charged).
+            self.codec.abort_sent(receiver)
             self._rpc_futures.pop(rpc_id, None)
             runtime.observe(OP_REQUEST, sender, receiver, message, DROPPED, account, query_id)
             return Dispatch(DROPPED, None)
+        self.codec.commit_sent(receiver)
         try:
             reply = await asyncio.wait_for(future, runtime.config.rpc_timeout)
         except asyncio.TimeoutError:
@@ -355,6 +562,7 @@ class NodeService:
             # not assume the other side processed anything).
             runtime.observe(OP_REQUEST, sender, receiver, message, DROPPED, account, query_id)
             return Dispatch(DROPPED, None)
+        runtime.record_rpc_latency(loop.time() - started)
         runtime.observe(OP_REQUEST, sender, receiver, message, DELIVERED, account, query_id)
         return Dispatch(DELIVERED, reply)
 
@@ -366,7 +574,7 @@ class NodeService:
         query_id: Optional[int] = None,
         account: bool = True,
     ) -> str:
-        """One-way, fire-and-forget send (synchronous: queue/socket put)."""
+        """One-way, fire-and-forget send (batched with same-tick frames)."""
         runtime = self.runtime
         if not runtime.is_online(receiver):
             runtime.observe(OP_SEND, sender, receiver, message, UNREACHABLE, False, query_id)
@@ -374,9 +582,11 @@ class NodeService:
         if account:
             runtime.account(sender, receiver, message, query_id)
         envelope = Envelope(sender, receiver, message, query_id, False, account)
-        if not runtime.wire.send(receiver, runtime.codec.encode_send(envelope)):
+        if not runtime.batcher.send(receiver, self.codec.encode_send(envelope)):
+            self.codec.abort_sent(receiver)
             runtime.observe(OP_SEND, sender, receiver, message, DROPPED, account, query_id)
             return DROPPED
+        self.codec.commit_sent(receiver)
         runtime.observe(OP_SEND, sender, receiver, message, DELIVERED, account, query_id)
         return DELIVERED
 
@@ -385,32 +595,46 @@ class NodeService:
     async def _inbox_loop(self) -> None:
         runtime = self.runtime
         inbox = runtime.wire.inbox(self.node_id)
+        codec = self.codec
         while True:
-            frame = await inbox.get()
-            try:
-                decoded = runtime.codec.decode(runtime.codec.unframe(frame))
-            except Exception:
-                # The UDP socket is open to anything on 127.0.0.1: a garbage
-                # or unknown-tag frame must not kill the reader (which would
-                # silently partition this node for the rest of the run).
+            payload = await inbox.get()
+            # One wire read may carry several batched frames; both codecs
+            # share the outer length-prefix framing, so one scan splits it.
+            bodies, leftover = codec.split(payload)
+            for body in bodies:
+                try:
+                    decoded = codec.decode_body(body)
+                except Exception:
+                    # The UDP socket is open to anything on 127.0.0.1: a
+                    # garbage or unknown-tag frame must not kill the reader
+                    # (which would silently partition this node for the
+                    # rest of the run).
+                    logger.warning(
+                        "node %d dropped undecodable %d-byte frame",
+                        self.node_id, len(body), exc_info=True,
+                    )
+                    continue
+                self._dispatch_inbound(decoded)
+            if leftover:
                 logger.warning(
                     "node %d dropped undecodable %d-byte frame",
-                    self.node_id, len(frame), exc_info=True,
+                    self.node_id, len(leftover),
                 )
-                continue
-            if decoded["op"] == "rep":
-                future = self._rpc_futures.pop(decoded["rpc"], None)
-                if future is not None and not future.done():
-                    future.set_result(decoded["m"])
-                continue
-            # One task per inbound frame: a handler may issue nested
-            # round-trips back at the node that is currently awaiting us
-            # (digest integration, the eager alpha split), so serial
-            # processing would deadlock two mutually-requesting nodes.
-            task = asyncio.create_task(self._handle_inbound(decoded))
-            self._inflight.add(task)
-            task.add_done_callback(self._inflight.discard)
-            task.add_done_callback(_report_task_failure)
+
+    def _dispatch_inbound(self, decoded: Dict[str, Any]) -> None:
+        if decoded["op"] == "rep":
+            future = self._rpc_futures.pop(decoded["rpc"], None)
+            if future is not None and not future.done():
+                future.set_result(decoded["m"])
+            return
+        # One task per inbound frame: a handler may issue nested
+        # round-trips back at the node that is currently awaiting us
+        # (digest integration, the eager alpha split), so serial
+        # processing would deadlock two mutually-requesting nodes.
+        task = asyncio.create_task(self._handle_inbound(decoded))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+        task.add_done_callback(_report_task_failure)
 
     async def _handle_inbound(self, decoded: Dict[str, Any]) -> None:
         runtime = self.runtime
@@ -428,11 +652,11 @@ class NodeService:
                 OP_REPLY, self.node_id, envelope.sender, reply, DELIVERED,
                 envelope.account, envelope.query_id,
             )
-        runtime.wire.send(
-            envelope.sender, runtime.codec.encode_reply(decoded["rpc"], DELIVERED, reply)
+        runtime.batcher.send_now(
+            envelope.sender, self.codec.encode_reply(decoded["rpc"], DELIVERED, reply)
         )
 
-    # -- timers ---------------------------------------------------------------
+    # -- rounds (wheel-fired) -------------------------------------------------
 
     def _pause(self, interval: float) -> float:
         jitter = self.runtime.config.jitter
@@ -440,31 +664,50 @@ class NodeService:
             return interval
         return interval * self._timer_rng.uniform(1.0 - jitter, 1.0 + jitter)
 
-    async def _gossip_loop(self) -> None:
-        runtime = self.runtime
-        interval = runtime.config.gossip_interval
-        # Random phase offset: engine cycles fire every node in lockstep,
-        # real deployments drift apart immediately.
-        await asyncio.sleep(self._timer_rng.uniform(0.0, interval))
-        while runtime.running:
-            if runtime.is_online(self.node_id):
-                await self.drive(self.node.lazy_round_effects())
-            await asyncio.sleep(self._pause(interval))
+    def _spawn_round(self, coro, name: str) -> None:
+        task = asyncio.create_task(coro, name=name)
+        self._rounds.add(task)
+        task.add_done_callback(self._rounds.discard)
+        task.add_done_callback(_report_task_failure)
 
-    async def _eager_loop(self) -> None:
+    def _fire_gossip(self) -> None:
+        if not self.runtime.running:
+            return
+        self.gossip_fire_times.append(asyncio.get_running_loop().time())
+        self._spawn_round(self._gossip_round(), f"round-gossip-{self.node_id}")
+
+    def _fire_eager(self) -> None:
+        if not self.runtime.running:
+            return
+        self.eager_fire_times.append(asyncio.get_running_loop().time())
+        self._spawn_round(self._eager_round(), f"round-eager-{self.node_id}")
+
+    async def _gossip_round(self) -> None:
         runtime = self.runtime
-        interval = runtime.config.eager_interval
-        await asyncio.sleep(self._timer_rng.uniform(0.0, interval))
-        while runtime.running:
-            if runtime.is_online(self.node_id):
-                self.tick += 1
-                if self.node.has_active_queries():
-                    await self.drive(self.node.eager_round_effects(self.tick))
-                # Fold the partial results this tick delivered into snapshots
-                # (the engine does this at each eager cycle boundary).
-                for session in self.node.sessions.values():
-                    session.close_cycle(self.tick)
-            await asyncio.sleep(self._pause(interval))
+        if runtime.is_online(self.node_id):
+            await self.drive(self.node.lazy_round_effects())
+            runtime.gossip_rounds += 1
+        # Reschedule after the round completes: the jittered interval
+        # separates round *completions* from the next firing, exactly as
+        # the per-node sleep loop did.
+        runtime.wheel.schedule(
+            self._pause(runtime.config.gossip_interval), self._fire_gossip
+        )
+
+    async def _eager_round(self) -> None:
+        runtime = self.runtime
+        if runtime.is_online(self.node_id):
+            self.tick += 1
+            runtime.eager_ticks += 1
+            if self.node.has_active_queries():
+                await self.drive(self.node.eager_round_effects(self.tick))
+            # Fold the partial results this tick delivered into snapshots
+            # (the engine does this at each eager cycle boundary).
+            for session in self.node.sessions.values():
+                session.close_cycle(self.tick)
+        runtime.wheel.schedule(
+            self._pause(runtime.config.eager_interval), self._fire_eager
+        )
 
     # -- queries --------------------------------------------------------------
 
@@ -482,8 +725,8 @@ class ServiceRuntime:
 
     Wraps a built (and typically warm-started) simulation: the runtime
     reuses its nodes, protocol objects, network liveness table and stats
-    collector, but replaces the cycle engine with per-node timers and the
-    direct method-call wire with serialized frames.
+    collector, but replaces the cycle engine with wheel-driven rounds and
+    the direct method-call wire with serialized frames.
     """
 
     def __init__(
@@ -493,16 +736,23 @@ class ServiceRuntime:
     ) -> None:
         self.simulation = simulation
         self.config = config or ServiceConfig()
-        self.codec = WireCodec()
         self.wire = make_wire(self.config.wire)
+        self.batcher = FrameBatcher(self.wire)
+        self.wheel = TimerWheel()
         self.trace = ServiceTrace()
         self._observers = [self.trace.record]
         self.services: Dict[int, NodeService] = {}
         self._started = False
-        #: Timers initiate new rounds only while True; cleared by
+        #: Wheel callbacks initiate new rounds only while True; cleared by
         #: :meth:`stop` so the runtime quiesces instead of cancelling
         #: half-finished exchanges (which would break byte conservation).
         self.running = False
+        #: Completed gossip rounds / eager ticks across all nodes (the
+        #: demo's round-throughput numerators).
+        self.gossip_rounds = 0
+        self.eager_ticks = 0
+        #: Completed round-trip latencies, seconds (bounded sliding window).
+        self.rpc_latencies: Deque[float] = deque(maxlen=65536)
 
     # -- shared plumbing ------------------------------------------------------
 
@@ -513,7 +763,12 @@ class ServiceRuntime:
     def account(
         self, sender: int, receiver: int, message: Message, query_id: Optional[int]
     ) -> None:
-        """Transport-identical byte accounting into the shared stats collector."""
+        """Transport-identical byte accounting into the shared stats collector.
+
+        Priced by :func:`repro.gossip.sizes.total_bytes` on the message
+        object -- never by encoded frame length -- so batching, digest
+        suppression and codec choice leave the traffic numbers untouched.
+        """
         kind = message.kind
         if kind is None or not message.accountable:
             return
@@ -538,6 +793,9 @@ class ServiceRuntime:
     def add_observer(self, observer) -> None:
         self._observers.append(observer)
 
+    def record_rpc_latency(self, seconds: float) -> None:
+        self.rpc_latencies.append(seconds)
+
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:
@@ -545,6 +803,7 @@ class ServiceRuntime:
             raise RuntimeError("service runtime already started")
         node_ids = list(self.simulation.nodes)
         await self.wire.start(node_ids)
+        self.wheel.start()
         self.running = True
         for node_id in node_ids:
             service = NodeService(self.simulation.nodes[node_id], self)
@@ -555,26 +814,31 @@ class ServiceRuntime:
     async def stop(self) -> None:
         """Quiesce, then tear down.
 
-        Rounds in progress run to completion (cancelling one between its
-        accounting and its WireEvent would break byte conservation), then
-        in-flight inbound handlers drain, pending partial results are
+        The wheel stops first (no new rounds fire), rounds in progress run
+        to completion (cancelling one between its accounting and its
+        WireEvent would break byte conservation), then in-flight inbound
+        handlers and batched frames drain, pending partial results are
         folded into a final snapshot per session, and the inbox readers --
         pure readers, safe to cancel -- go away.
         """
         self.running = False
+        await self.wheel.stop()
         services = list(self.services.values())
         for service in services:
-            await service.join_timers()
+            await service.join_rounds()
         # A handler drained late in the pass can send a frame to a service
         # drained earlier, spawning a fresh handler there; sweep until one
-        # full pass finds every service idle -- no running handler and no
-        # queued frame -- so the wire is quiescent (with the timers stopped,
-        # handlers only beget finitely many more).  The sleep(0) lets inbox
-        # readers turn queued frames into handlers the next pass can join.
+        # full pass finds every service idle -- no running handler, no
+        # queued frame, no batched frame -- so the wire is quiescent (with
+        # the wheel stopped, handlers only beget finitely many more).  The
+        # sleep(0) lets inbox readers turn queued frames into handlers the
+        # next pass can join.
         while True:
+            self.batcher.flush_all()
             for service in services:
                 await service.join_handlers()
-            if all(service.idle() for service in services):
+            self.batcher.flush_all()
+            if self.batcher.empty() and all(service.idle() for service in services):
                 break
             await asyncio.sleep(0)
         for service in services:

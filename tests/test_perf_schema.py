@@ -99,6 +99,45 @@ def _valid_report() -> dict:
                 "long-tail@c16": _serving_cell("long-tail", 16),
             },
         },
+        "service": {
+            "seed": 23,
+            "frame_batch": 120,
+            "codec": {
+                "messages": {
+                    "DigestAdvertisement": {
+                        "json_fps": 3000.0,
+                        "binary_fps": 42000.0,
+                        "speedup": 14.0,
+                    },
+                    "QueryForward": {
+                        "json_fps": 40000.0,
+                        "binary_fps": 45000.0,
+                        "speedup": 1.1,
+                    },
+                },
+                "digest_roundtrip_speedup": 14.0,
+            },
+            "demo": {
+                "50": _service_demo_cell(50),
+                "200": _service_demo_cell(200),
+            },
+        },
+    }
+
+
+def _service_demo_cell(num_users: int) -> dict:
+    return {
+        "num_users": num_users,
+        "num_queries": 8,
+        "completed": 8,
+        "codec": "binary",
+        "gossip_rounds": 400,
+        "rounds_per_sec": 500.0,
+        "rpc_count": 900,
+        "rpc_p95_ms": 3.0,
+        "wall_seconds": 0.8,
+        "bytes_total": 1_000_000,
+        "invariant_error": None,
     }
 
 
@@ -132,8 +171,8 @@ class TestValidateReportV3:
     def test_valid_report_passes(self):
         assert validate_report(_valid_report()) == []
 
-    def test_schema_version_is_5(self):
-        assert SCHEMA_VERSION == 5
+    def test_schema_version_is_6(self):
+        assert SCHEMA_VERSION == 6
 
     def test_missing_rate_stat_rejected(self):
         report = _valid_report()
@@ -242,6 +281,7 @@ class TestValidateReportV4:
             assert entry["pool_reuse_count"] >= 0
         assert report["columnar"]  # quick runs include the micro-benchmark
         assert report["serving"]["workloads"]  # ...and the serving sweep
+        assert report["service"]["codec"]["messages"]  # ...and the service bench
 
 
 class TestValidateReportV5:
@@ -314,6 +354,77 @@ class TestCompareServing:
         # fire, and macro regressions must still be caught.
         current, baseline = _valid_report(), _valid_report()
         del baseline["serving"]
+        assert compare_reports(current, baseline) == []
+        current["macro"]["100"]["lazy_cycles_per_sec"] = 10.0
+        problems = compare_reports(current, baseline)
+        assert any("macro[100].lazy_cycles_per_sec" in p for p in problems)
+
+
+class TestValidateReportV6:
+    """The service section: codec frames/sec and demo round throughput."""
+
+    def test_service_section_is_optional(self):
+        report = _valid_report()
+        del report["service"]
+        assert validate_report(report) == []
+
+    def test_empty_codec_messages_rejected(self):
+        report = _valid_report()
+        report["service"]["codec"]["messages"] = {}
+        assert any("service.codec.messages" in p for p in validate_report(report))
+
+    def test_nonpositive_fps_rejected(self):
+        for key in ("json_fps", "binary_fps", "speedup"):
+            report = _valid_report()
+            report["service"]["codec"]["messages"]["QueryForward"][key] = 0
+            assert any(key in p for p in validate_report(report))
+
+    def test_nonpositive_digest_speedup_rejected(self):
+        report = _valid_report()
+        report["service"]["codec"]["digest_roundtrip_speedup"] = -1
+        assert any("digest_roundtrip_speedup" in p for p in validate_report(report))
+
+    def test_demo_without_completed_queries_rejected(self):
+        report = _valid_report()
+        report["service"]["demo"]["50"]["completed"] = 0
+        assert any("completed" in p for p in validate_report(report))
+
+    def test_demo_invariant_violation_rejected(self):
+        report = _valid_report()
+        report["service"]["demo"]["50"]["invariant_error"] = "bytes drifted"
+        assert any("invariant" in p for p in validate_report(report))
+
+    def test_nonpositive_rounds_per_sec_rejected(self):
+        report = _valid_report()
+        report["service"]["demo"]["200"]["rounds_per_sec"] = 0
+        assert any("rounds_per_sec" in p for p in validate_report(report))
+
+
+class TestCompareService:
+    """The service guard: demo throughput drops and rpc p95 jumps fail."""
+
+    def test_rounds_per_sec_regression_detected(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["service"]["demo"]["50"]["rounds_per_sec"] = 250.0  # was 500
+        problems = compare_reports(current, baseline, max_regression=0.10)
+        assert any("service[50].rounds_per_sec" in p for p in problems)
+
+    def test_rpc_p95_regression_detected(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["service"]["demo"]["200"]["rpc_p95_ms"] = 6.0  # was 3.0
+        problems = compare_reports(current, baseline, max_regression=0.10)
+        assert any("service[200].rpc_p95_ms" in p for p in problems)
+
+    def test_within_tolerance_passes(self):
+        current, baseline = _valid_report(), _valid_report()
+        current["service"]["demo"]["50"]["rounds_per_sec"] = 480.0
+        assert compare_reports(current, baseline, max_regression=0.10) == []
+
+    def test_service_absent_in_baseline_compares_without_guard(self):
+        # A v5 baseline predating the service bench: the guard must not
+        # fire, and macro regressions must still be caught.
+        current, baseline = _valid_report(), _valid_report()
+        del baseline["service"]
         assert compare_reports(current, baseline) == []
         current["macro"]["100"]["lazy_cycles_per_sec"] = 10.0
         problems = compare_reports(current, baseline)

@@ -11,19 +11,23 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import math
+import struct
 from types import SimpleNamespace
 
 import pytest
 
 from repro.experiments.runner import converged_simulation
+from repro.gossip.sizes import total_bytes
 from repro.service import ServiceConfig, ServiceRuntime, ServiceTrace, check_trace
+from repro.service.codec import MAX_DATAGRAM_BYTES
 from repro.service.demo import (
     build_demo_workload,
     demo_succeeded,
     format_report,
     run_demo_sync,
 )
-from repro.service.runtime import _report_task_failure
+from repro.service.runtime import FrameBatcher, TimerWheel, _report_task_failure
 from repro.simulator.effects import ProbeEffect, RequestEffect
 from repro.simulator.transport import DROPPED, OP_REPLY, OP_REQUEST, Dispatch
 
@@ -227,3 +231,243 @@ class TestServiceConfigValidation:
     def test_rejects_bad_jitter(self):
         with pytest.raises(ValueError, match="jitter"):
             ServiceConfig(jitter=1.5)
+
+    def test_rejects_unknown_codec(self):
+        with pytest.raises(ValueError, match="codec"):
+            ServiceConfig(codec="protobuf")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_nonfinite_timings(self, bad):
+        with pytest.raises(ValueError, match="rpc_timeout"):
+            ServiceConfig(rpc_timeout=bad)
+        with pytest.raises(ValueError, match="jitter"):
+            ServiceConfig(jitter=bad)
+
+    def test_rejects_non_numeric_timings(self):
+        with pytest.raises(ValueError, match="eager_interval"):
+            ServiceConfig(eager_interval="fast")
+
+    def test_validate_is_callable_directly(self):
+        ServiceConfig().validate()
+
+
+# ------------------------------------------------------------- PR 10 paths
+
+
+class _FakeWire:
+    def __init__(self, peers=(1, 2)):
+        self.writes = []
+        self.peers = set(peers)
+
+    def has_peer(self, receiver):
+        return receiver in self.peers
+
+    def send(self, receiver, frame):
+        self.writes.append((receiver, frame))
+        return True
+
+
+class TestFrameBatcher:
+    def test_coalesces_same_tick_frames_per_destination(self):
+        async def go():
+            wire = _FakeWire()
+            batcher = FrameBatcher(wire)
+            assert batcher.send(1, b"aa")
+            assert batcher.send(1, b"bb")
+            assert batcher.send(2, b"cc")
+            assert wire.writes == []  # nothing written inside the tick
+            await asyncio.sleep(0)  # call_soon flush
+            assert (1, b"aabb") in wire.writes
+            assert (2, b"cc") in wire.writes
+            assert batcher.empty()
+
+        asyncio.run(go())
+
+    def test_send_now_flushes_first_preserving_order(self):
+        async def go():
+            wire = _FakeWire()
+            batcher = FrameBatcher(wire)
+            batcher.send(1, b"aa")
+            assert batcher.send_now(1, b"rr")
+            assert wire.writes == [(1, b"aa"), (1, b"rr")]
+
+        asyncio.run(go())
+
+    def test_unknown_peer_is_refused(self):
+        async def go():
+            wire = _FakeWire(peers=(1,))
+            batcher = FrameBatcher(wire)
+            assert not batcher.send(9, b"aa")
+            assert not batcher.send_now(9, b"aa")
+            assert wire.writes == []
+
+        asyncio.run(go())
+
+    def test_budget_overflow_flushes_eagerly(self):
+        async def go():
+            wire = _FakeWire()
+            batcher = FrameBatcher(wire)
+            nearly_full = b"x" * (MAX_DATAGRAM_BYTES - 10)
+            batcher.send(1, nearly_full)
+            batcher.send(1, b"y" * 20)
+            # The first frame flushed to make room; the second waits its tick.
+            assert wire.writes == [(1, nearly_full)]
+            await asyncio.sleep(0)
+            assert wire.writes[-1] == (1, b"y" * 20)
+
+        asyncio.run(go())
+
+    def test_oversized_frame_writes_through_in_caller_context(self):
+        async def go():
+            wire = _FakeWire()
+            batcher = FrameBatcher(wire)
+            big = b"z" * (MAX_DATAGRAM_BYTES + 1)
+            batcher.send(1, b"aa")
+            batcher.send(1, big)
+            # Queued frames flush first (order), then the oversized frame
+            # goes straight to the wire so its refusal raises at the caller.
+            assert wire.writes == [(1, b"aa"), (1, big)]
+
+        asyncio.run(go())
+
+
+class TestTimerWheel:
+    def test_fires_in_deadline_order(self):
+        async def go():
+            wheel = TimerWheel()
+            wheel.start()
+            fired = []
+            done = asyncio.Event()
+            wheel.schedule(0.03, lambda: fired.append("late"))
+            wheel.schedule(0.01, lambda: (fired.append("early"), done.set()))
+            await asyncio.wait_for(done.wait(), 2.0)
+            await asyncio.sleep(0.05)
+            await wheel.stop()
+            assert fired == ["early", "late"]
+
+        asyncio.run(go())
+
+    def test_schedule_after_stop_is_noop(self):
+        async def go():
+            wheel = TimerWheel()
+            wheel.start()
+            await wheel.stop()
+            wheel.schedule(0.0, lambda: pytest.fail("fired after stop"))
+            assert len(wheel) == 0
+            await asyncio.sleep(0.02)
+
+        asyncio.run(go())
+
+    def test_one_scheduler_task_replaces_per_node_timers(self):
+        """Acceptance: task count is O(1)-per-node lower at steady state."""
+        num_users = 12
+        workload = build_demo_workload(num_users=num_users, num_queries=1, seed=3)
+        simulation = converged_simulation(workload, 3)
+
+        async def go():
+            runtime = ServiceRuntime(simulation, ServiceConfig())
+            await runtime.start()
+            try:
+                await asyncio.sleep(0.15)
+                names = [task.get_name() for task in asyncio.all_tasks()]
+                wheels = [n for n in names if n == "timer-wheel"]
+                inboxes = [n for n in names if n.startswith("inbox-")]
+                legacy = [n for n in names if n.startswith(("gossip-", "eager-"))]
+                assert len(wheels) == 1
+                assert len(inboxes) == num_users
+                assert legacy == [], "per-node timer tasks must be gone"
+                # Old design: 3 persistent tasks per node.  New: one inbox
+                # per node plus a single shared wheel.
+                assert len(wheels) + len(inboxes) == num_users + 1 < 3 * num_users
+            finally:
+                await runtime.stop()
+
+        asyncio.run(go())
+
+    def test_jittered_firing_is_preserved(self):
+        """Acceptance: wheel firings keep the per-node jitter distribution.
+
+        Pools inter-firing gaps across nodes: with ``jitter=0.5`` each gap
+        is ``round_duration + interval * U(0.5, 1.5)``, so the spread is
+        wide (uniform cv ~= 0.29); with ``jitter=0`` gaps hug the interval.
+        """
+
+        def observed_gaps(jitter):
+            workload = build_demo_workload(num_users=8, num_queries=1, seed=13)
+            simulation = converged_simulation(workload, 3)
+            config = ServiceConfig(gossip_interval=0.04, jitter=jitter)
+            recorded = []
+
+            async def run():
+                runtime = ServiceRuntime(simulation, config)
+                await runtime.start()
+                try:
+                    await asyncio.sleep(0.8)
+                finally:
+                    recorded.extend(
+                        list(service.gossip_fire_times)
+                        for service in runtime.services.values()
+                    )
+                    await runtime.stop()
+
+            asyncio.run(run())
+            gaps = []
+            for times in recorded:
+                gaps.extend(b - a for a, b in zip(times, times[1:]))
+            return gaps
+
+        jittered = observed_gaps(jitter=0.5)
+        steady = observed_gaps(jitter=0.0)
+        assert len(jittered) >= 30 and len(steady) >= 30
+
+        def cv(values):
+            mean = sum(values) / len(values)
+            var = sum((v - mean) ** 2 for v in values) / len(values)
+            return math.sqrt(var) / mean
+
+        assert cv(jittered) > 0.12, f"jittered gaps too uniform: cv={cv(jittered):.3f}"
+        assert cv(jittered) > cv(steady), (
+            f"jitter must widen the gap spread: {cv(jittered):.3f} vs {cv(steady):.3f}"
+        )
+
+
+class TestCodecParity:
+    """The service path under both codecs: clean invariants, bytes priced
+    by ``gossip.sizes`` (never by encoded frame length)."""
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_run_passes_invariants_and_prices_by_sizes(self, codec_name):
+        workload = build_demo_workload(num_users=16, num_queries=2, seed=9)
+        config = ServiceConfig(codec=codec_name, query_deadline=8.0)
+        runtime, simulation, sessions = _run(workload, config)
+        check_trace(runtime.trace.events, simulation)
+        accounted = sum(
+            total_bytes(event.message)
+            for event in runtime.trace.events
+            if event.accounted
+        )
+        assert accounted == simulation.stats.total_bytes()
+        assert any(session.closed for session in sessions.values())
+
+    def test_malformed_binary_body_is_dropped_not_fatal(self, caplog):
+        """A well-framed body with a bad binary tag drops loudly, inbox lives."""
+        workload = build_demo_workload(num_users=8, num_queries=1, seed=5)
+        simulation = converged_simulation(workload, 3)
+        config = ServiceConfig(codec="binary")
+        bad_body = bytes([0x03, 0x00, 0x00, 0x00, 0xEE])  # send frame, tag 0xEE
+        frame = struct.pack(">I", len(bad_body)) + bad_body
+
+        async def go():
+            runtime = ServiceRuntime(simulation, config)
+            await runtime.start()
+            try:
+                node_id = next(iter(runtime.services))
+                assert runtime.wire.send(node_id, frame)
+                await asyncio.sleep(0.05)
+                assert not runtime.services[node_id]._inbox_task.done()
+            finally:
+                await runtime.stop()
+
+        with caplog.at_level(logging.WARNING, logger="repro.service.runtime"):
+            asyncio.run(go())
+        assert "undecodable" in caplog.text

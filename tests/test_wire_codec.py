@@ -22,7 +22,7 @@ from repro.data.queries import Query
 from repro.gossip.digest import ProfileDigest, make_digest
 from repro.gossip.sizes import total_bytes
 from repro.p3q.query import PartialResult
-from repro.service.codec import WireCodec
+from repro.service.codec import BinaryWireCodec, WireCodec, make_codec, split_frames
 from repro.simulator.transport import (
     VIEW_PERSONAL,
     VIEW_RANDOM,
@@ -280,3 +280,300 @@ class TestRuntimeFrames:
         assert decoded["envelope"].sender == 2
         assert decoded["envelope"].expects_reply is False
         assert_message_equal(decoded["envelope"].message, envelope.message)
+
+
+# ------------------------------------------------------------- binary codec
+
+
+class TestBinaryCatalogueCoverage:
+    def test_binary_registry_matches_json_registry(self):
+        from repro.service import codec as codec_module
+
+        assert set(codec_module._BIN_ENCODERS) == set(codec_module._ENCODERS)
+        tags = {tag for tag, _ in codec_module._BIN_ENCODERS.values()}
+        assert tags == set(codec_module._BIN_DECODERS)
+        assert len(tags) == len(codec_module._BIN_ENCODERS), "tags must be unique"
+
+    def test_unregistered_message_type_fails_loudly(self):
+        class Bogus(Message):
+            __slots__ = ()
+
+        with pytest.raises(TypeError, match="Bogus"):
+            BinaryWireCodec().encode_message(Bogus())
+
+    def test_unknown_tag_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown binary wire message tag"):
+            BinaryWireCodec().decode_message(bytes([0xEE]))
+
+    def test_make_codec_registry(self):
+        assert isinstance(make_codec("json"), WireCodec)
+        assert isinstance(make_codec("binary"), BinaryWireCodec)
+        with pytest.raises(ValueError, match="codec"):
+            make_codec("protobuf")
+
+
+@pytest.mark.parametrize("message_type", sorted(STRATEGIES, key=lambda c: c.__name__))
+def test_cross_codec_equivalence(message_type):
+    """Satellite: both codecs decode to equal messages with equal pricing.
+
+    Fresh binary codec instances per example keep digest suppression out
+    of the picture: this is the pure encoding contract.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(message=STRATEGIES[message_type])
+    def check(message):
+        binary = BinaryWireCodec()
+        body = binary.encode_message(message)
+        from_binary = BinaryWireCodec().decode_message(body)
+        from_json = CODEC.decode_message(CODEC.encode_message(message))
+        assert_message_equal(message, from_binary)
+        assert_message_equal(from_json, from_binary)
+        assert total_bytes(from_binary) == total_bytes(message)
+        assert total_bytes(from_json) == total_bytes(from_binary)
+
+    check()
+
+
+class TestBinaryRuntimeFrames:
+    def test_request_frame_round_trip(self):
+        codec = BinaryWireCodec()
+        envelope = Envelope(
+            sender=3,
+            receiver=4,
+            message=QueryForward(query=_query(), remaining=(5, 6), cycle=2),
+            query_id=9,
+            expects_reply=True,
+            account=True,
+        )
+        bodies, leftover = codec.split(codec.encode_request(envelope, rpc_id=17))
+        assert leftover == b"" and len(bodies) == 1
+        decoded = BinaryWireCodec().decode_body(bodies[0])
+        assert decoded["op"] == "req" and decoded["rpc"] == 17
+        assert decoded["envelope"] == envelope
+
+    def test_reply_frame_round_trip(self):
+        codec = BinaryWireCodec()
+        reply = RemainingReturn(query_id=9, remaining=(1, 2))
+        bodies, _ = codec.split(codec.encode_reply(17, "delivered", reply))
+        decoded = BinaryWireCodec().decode_body(bodies[0])
+        assert decoded["op"] == "rep" and decoded["rpc"] == 17
+        assert decoded["st"] == "delivered"
+        assert decoded["m"] == reply
+
+    def test_none_reply_frame(self):
+        codec = BinaryWireCodec()
+        bodies, _ = codec.split(codec.encode_reply(17, "dropped", None))
+        decoded = BinaryWireCodec().decode_body(bodies[0])
+        assert decoded["m"] is None and decoded["st"] == "dropped"
+
+    def test_send_frame_round_trip_negative_ids(self):
+        codec = BinaryWireCodec()
+        envelope = Envelope(
+            sender=-2,
+            receiver=-1,
+            message=QueryResult(partial=_partial(2, 1)),
+            query_id=-9,
+            expects_reply=False,
+            account=False,
+        )
+        bodies, _ = codec.split(codec.encode_send(envelope))
+        decoded = BinaryWireCodec().decode_body(bodies[0])
+        assert decoded["op"] == "send"
+        assert decoded["envelope"].sender == -2
+        assert decoded["envelope"].receiver == -1
+        assert decoded["envelope"].query_id == -9
+        assert decoded["envelope"].account is False
+
+
+class TestBinaryMalformedFrames:
+    """Satellite fuzz cases: every malformed shape drops loudly, never hangs."""
+
+    def _one_body(self, frame):
+        bodies, leftover = split_frames(frame)
+        assert leftover == b""
+        return bodies[0]
+
+    def test_truncated_header(self):
+        codec = BinaryWireCodec()
+        frame = codec.encode_request(
+            Envelope(1, 2, FullProfileRequest(subject_id=3), None, True, True), 5
+        )
+        body = self._one_body(frame)
+        for cut in range(len(body)):
+            with pytest.raises(ValueError):
+                BinaryWireCodec().decode_body(body[:cut])
+
+    def test_bad_op_and_bad_tag(self):
+        with pytest.raises(ValueError, match="unknown binary frame op"):
+            BinaryWireCodec().decode_body(bytes([0x7F]))
+        with pytest.raises(ValueError, match="empty frame body"):
+            BinaryWireCodec().decode_body(b"")
+        # op=send, sender=0, receiver=0, flags=0, message tag 0xEE.
+        with pytest.raises(ValueError, match="unknown binary wire message tag"):
+            BinaryWireCodec().decode_body(bytes([0x03, 0x00, 0x00, 0x00, 0xEE]))
+
+    def test_oversized_length_claims(self):
+        # A digest claiming a multi-gigabyte row must be refused before any
+        # allocation happens.
+        evil = bytearray([0x01])  # DigestAdvertisement tag
+        evil += bytes([0x00])  # view=random
+        evil += bytes([0x01])  # one digest
+        evil += bytes([0x00])  # marker: full row
+        evil += bytes([0x00, 0x00])  # user_id=0, version=0
+        evil += b"\xff\xff\xff\xff\x7f"  # num_bits varint ~= 2**34
+        with pytest.raises(ValueError, match="num_bits"):
+            BinaryWireCodec().decode_message(bytes(evil))
+        # A sequence length beyond the wire bound fails the same way.
+        evil2 = bytearray([0x02, 0x00])  # CommonItemsRequest, subject=0
+        evil2 += b"\xff\xff\xff\xff\x7f"  # item count ~= 2**34
+        with pytest.raises(ValueError, match="sequence length"):
+            BinaryWireCodec().decode_message(bytes(evil2))
+
+    def test_unbounded_varint_rejected(self):
+        with pytest.raises(ValueError, match="varint"):
+            BinaryWireCodec().decode_message(bytes([0x04]) + b"\xff" * 12)
+
+    def test_trailing_bytes_rejected(self):
+        codec = BinaryWireCodec()
+        body = codec.encode_message(FullProfileRequest(subject_id=3))
+        with pytest.raises(ValueError, match="trailing"):
+            BinaryWireCodec().decode_message(body + b"\x00")
+
+    def test_bad_status_index(self):
+        codec = BinaryWireCodec()
+        body = self._one_body(codec.encode_reply(1, "delivered", None))
+        evil = bytearray(body)
+        evil[-2] = 0xEE  # the status byte
+        with pytest.raises(ValueError, match="status index"):
+            BinaryWireCodec().decode_body(bytes(evil))
+
+
+class TestDigestSuppression:
+    def _advertisement(self):
+        return DigestAdvertisement(digests=(_digest(1), _digest(2)), view=VIEW_PERSONAL)
+
+    def _envelope(self, message, receiver=7):
+        return Envelope(1, receiver, message, None, False, True)
+
+    def test_committed_digests_travel_as_references(self):
+        sender = BinaryWireCodec()
+        adv = self._advertisement()
+        first = sender.encode_send(self._envelope(adv))
+        sender.commit_sent(7)
+        second = sender.encode_send(self._envelope(adv))
+        assert len(second) < len(first) / 2
+
+        receiver = BinaryWireCodec()
+        for frame in (first, second):
+            bodies, _ = receiver.split(frame)
+            decoded = receiver.decode_body(bodies[0])
+            assert_message_equal(decoded["m"], adv)
+
+    def test_uncommitted_sends_are_not_suppressed(self):
+        sender = BinaryWireCodec()
+        adv = self._advertisement()
+        first = sender.encode_send(self._envelope(adv))
+        sender.abort_sent(7)  # the wire refused the frame
+        second = sender.encode_send(self._envelope(adv))
+        assert len(second) == len(first)
+
+    def test_suppression_is_per_receiver(self):
+        sender = BinaryWireCodec()
+        adv = self._advertisement()
+        sender.encode_send(self._envelope(adv, receiver=7))
+        sender.commit_sent(7)
+        to_other = sender.encode_send(self._envelope(adv, receiver=8))
+        fresh = BinaryWireCodec()
+        bodies, _ = fresh.split(to_other)
+        assert_message_equal(fresh.decode_body(bodies[0])["m"], adv)
+
+    def test_unresolvable_reference_fails_loudly(self):
+        sender = BinaryWireCodec()
+        adv = self._advertisement()
+        sender.encode_send(self._envelope(adv))
+        sender.commit_sent(7)
+        ref_frame = sender.encode_send(self._envelope(adv))
+        never_seeded = BinaryWireCodec()
+        bodies, _ = never_seeded.split(ref_frame)
+        with pytest.raises(ValueError, match="digest reference"):
+            never_seeded.decode_body(bodies[0])
+
+    def test_new_version_ships_a_full_row(self):
+        sender = BinaryWireCodec()
+        profile = _profile(3, user_id=1)
+        adv1 = DigestAdvertisement(
+            digests=(make_digest(profile, num_bits=256, num_hashes=3),),
+            view=VIEW_PERSONAL,
+        )
+        sender.encode_send(self._envelope(adv1))
+        sender.commit_sent(7)
+        profile.add(50, 150)  # bumps the version
+        adv2 = DigestAdvertisement(
+            digests=(make_digest(profile, num_bits=256, num_hashes=3),),
+            view=VIEW_PERSONAL,
+        )
+        frame = sender.encode_send(self._envelope(adv2))
+        fresh = BinaryWireCodec()
+        bodies, _ = fresh.split(frame)
+        assert_message_equal(fresh.decode_body(bodies[0])["m"], adv2)
+
+
+class TestSplitFrames:
+    def test_splits_batched_frames(self):
+        codec = BinaryWireCodec()
+        frames = [
+            codec.encode_send(
+                Envelope(1, 2, FullProfileRequest(subject_id=i), None, False, True)
+            )
+            for i in range(3)
+        ]
+        bodies, leftover = split_frames(b"".join(frames))
+        assert len(bodies) == 3 and leftover == b""
+
+    def test_garbage_prefix_is_leftover(self):
+        bodies, leftover = split_frames(b"\xffnot-a-frame")
+        assert bodies == [] and leftover == b"\xffnot-a-frame"
+
+    def test_truncated_tail_is_leftover(self):
+        codec = BinaryWireCodec()
+        frame = codec.encode_send(
+            Envelope(1, 2, FullProfileRequest(subject_id=3), None, False, True)
+        )
+        payload = frame + frame[: len(frame) // 2]
+        bodies, leftover = split_frames(payload)
+        assert len(bodies) == 1
+        assert leftover == frame[: len(frame) // 2]
+
+
+class TestProfileFromState:
+    """Satellite: replica-freshness (the live version) survives round-trips."""
+
+    def _versioned_profile(self):
+        profile = UserProfile(4, [(1, 101), (2, 102)])
+        profile.add(3, 103)
+        profile.add(4, 104)
+        assert profile.version > len(profile.actions) - 2
+        return profile
+
+    def test_from_state_restores_version(self):
+        profile = self._versioned_profile()
+        rebuilt = UserProfile.from_state(4, profile.actions, profile.version)
+        assert rebuilt.version == profile.version
+        assert rebuilt.actions == profile.actions
+
+    def test_from_state_rejects_negative_version(self):
+        with pytest.raises(ValueError, match="version"):
+            UserProfile.from_state(4, [(1, 101)], -1)
+
+    @pytest.mark.parametrize("codec_name", ["json", "binary"])
+    def test_version_survives_codec_round_trip(self, codec_name):
+        profile = self._versioned_profile()
+        codec = make_codec(codec_name)
+        push = FullProfilePush(subject_id=4, profile=profile)
+        if codec_name == "json":
+            decoded = codec.decode_message(codec.encode_message(push))
+        else:
+            decoded = BinaryWireCodec().decode_message(codec.encode_message(push))
+        assert decoded.profile.version == profile.version
+        assert decoded.profile.actions == profile.actions
